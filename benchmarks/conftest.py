@@ -1,0 +1,21 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one table/figure of the paper via
+``repro.experiments`` and asserts the paper's qualitative shape (who
+wins, by roughly what factor, where crossovers fall).  Experiments are
+full replays, so each runs exactly once (pedantic mode) and prints its
+regenerated artifact; collect the prints with ``pytest benchmarks/
+--benchmark-only -s``.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,19 @@
+"""Bench: Figure 4 — op-type distribution per trace."""
+
+from repro.experiments import run_fig4
+
+
+def test_fig4_distribution(benchmark, once):
+    result = once(benchmark, run_fig4)
+    print("\n" + result.text)
+    by = {r["trace"]: r for r in result.rows}
+    # HPC checkpoint traces are create-heavy; NFS traces are stat-heavy.
+    for hpc in ("CTH", "s3d", "alegra"):
+        assert by[hpc]["create"] > 0.15
+    for nfs in ("home2", "deasna2", "lair62b"):
+        assert by[nfs]["stat"] > 0.25
+    # s3d has the biggest update share (the paper: ~48% cross-server).
+    update_ops = ("create", "remove", "mkdir", "rmdir", "link", "unlink", "setattr")
+    def updates(t):
+        return sum(by[t][o] for o in update_ops)
+    assert updates("s3d") == max(updates(t) for t in by)

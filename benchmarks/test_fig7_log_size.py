@@ -1,0 +1,34 @@
+"""Bench: Figure 7 — log-size sensitivity.
+
+(a) the improvement over OFS grows with the log-size cap (small logs
+    block and erode the gain); (b) the valid-record footprint rises
+    then saws down at each timeout-trigger firing.
+"""
+
+from repro.experiments.fig7 import run_fig7a, run_fig7b
+
+
+def test_fig7a_log_cap_sweep(benchmark, once):
+    result = once(benchmark, run_fig7a)
+    print("\n" + result.text)
+    rows = result.rows
+    gains = [r["improvement_vs_ofs"] for r in rows]
+    # Larger cap -> monotonically no-worse gain; unlimited is the best.
+    assert gains[-1] == max(gains)
+    assert gains[-1] > gains[0] + 0.05
+    # Small caps actually blocked appends; unlimited never did.
+    assert rows[0]["blocked_appends"] > 0
+    assert rows[-1]["blocked_appends"] == 0
+
+
+def test_fig7b_valid_record_sawtooth(benchmark, once):
+    result = once(benchmark, run_fig7b)
+    print("\n" + result.text)
+    ys = [r["valid_bytes"] for r in result.rows]
+    assert result.peak > 0
+    # Rises from zero to a peak...
+    peak_idx = ys.index(max(ys))
+    assert peak_idx > 0
+    # ...and the trigger pulls it back down by at least half at least once.
+    drops = [ys[i] - ys[i + 1] for i in range(len(ys) - 1)]
+    assert max(drops) > result.peak * 0.3

@@ -1,0 +1,25 @@
+"""Bench: Figure 9 — batched-commitment trigger sensitivity.
+
+Paper: replay time decreases as the timeout/threshold value increases;
+when the timeout is so large that no lazy commitment fires during the
+replay, OFS-Cx reaches its optimal performance.
+"""
+
+from repro.experiments.fig9 import run_fig9a, run_fig9b
+
+
+def test_fig9a_timeout_sweep(benchmark, once):
+    result = once(benchmark, run_fig9a)
+    print("\n" + result.text)
+    times = [r["replay_time"] for r in result.rows]
+    # Bigger timeout -> faster replay; the never-fires point is optimal.
+    assert times[-1] == min(times)
+    assert times[0] > times[-1] * 1.05
+
+
+def test_fig9b_threshold_sweep(benchmark, once):
+    result = once(benchmark, run_fig9b)
+    print("\n" + result.text)
+    times = [r["replay_time"] for r in result.rows]
+    assert times[-1] == min(times)
+    assert times[0] > times[-1] * 1.02

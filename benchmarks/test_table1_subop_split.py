@@ -1,0 +1,16 @@
+"""Bench: regenerate Table I (sub-op split) from the planner."""
+
+from repro.experiments import run_table1
+from repro.fs.ops import TABLE1_SPLIT, OpType, SubOpAction
+
+
+def test_table1_subop_split(benchmark, once):
+    result = once(benchmark, run_table1)
+    print("\n" + result.text)
+    by_op = {r["op"]: r for r in result.rows}
+    assert set(by_op) == {"create", "remove", "mkdir", "rmdir", "link", "unlink"}
+    # Spot-check the paper's split.
+    assert by_op["create"]["coordinator_actions"] == "insert_entry"
+    assert by_op["create"]["participant_actions"] == "add_inode"
+    assert by_op["unlink"]["participant_actions"] == "dec_nlink_free"
+    assert by_op["mkdir"]["participant_actions"] == "add_dir_inode"

@@ -1,0 +1,24 @@
+"""Bench: Table II — measured conflict ratio of the six traces.
+
+The paper's ratios span 0.112%..2.972%; the synthetic traces must land
+within 2x of each trace's published value and preserve the ordering of
+low-conflict (HPC) vs high-conflict (NFS) families.
+"""
+
+from repro.experiments import run_table2
+
+
+def test_table2_conflict_ratios(benchmark, once):
+    result = once(benchmark, run_table2)
+    print("\n" + result.text)
+    for row in result.rows:
+        paper = row["paper_conflict_ratio"]
+        measured = row["measured_conflict_ratio"]
+        assert measured > 0, f"{row['trace']}: no conflicts generated"
+        assert paper / 2 <= measured <= paper * 2, (
+            f"{row['trace']}: measured {measured:.3%} vs paper {paper:.3%}"
+        )
+    by = {r["trace"]: r["measured_conflict_ratio"] for r in result.rows}
+    # deasna2 is the paper's most conflicted trace, CTH the least.
+    assert by["deasna2"] == max(by.values())
+    assert by["CTH"] == min(by.values())

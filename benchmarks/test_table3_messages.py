@@ -1,0 +1,11 @@
+"""Bench: regenerate Table III (message taxonomy)."""
+
+from repro.experiments import run_table3
+
+
+def test_table3_message_taxonomy(benchmark, once):
+    result = once(benchmark, run_table3)
+    print("\n" + result.text)
+    kinds = {r["message"] for r in result.rows}
+    assert {"VOTE", "YES", "NO", "COMMIT-REQ", "ABORT-REQ",
+            "ACK", "L-COM", "ALL-NO"} <= kinds

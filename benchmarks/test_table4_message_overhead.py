@@ -1,0 +1,25 @@
+"""Bench: Table IV — message overhead of OFS-Cx vs OFS.
+
+Paper: "the actual additional cost is very low at less than 4%" and
+"the message overhead increases as the conflict ratio of a workload
+increase".  Our overhead stays below 4% on the low-conflict traces and
+below 9% everywhere (see EXPERIMENTS.md for the deviation note), with
+the same rising trend.
+"""
+
+import numpy as np
+
+from repro.experiments import run_table4
+
+
+def test_table4_message_overhead(benchmark, once):
+    result = once(benchmark, run_table4)
+    print("\n" + result.text)
+    for row in result.rows:
+        assert 0 <= row["overhead"] < 0.09, row
+        if row["conflict_ratio"] < 0.005:
+            assert row["overhead"] < 0.04, row
+    ratios = [r["conflict_ratio"] for r in result.rows]
+    overheads = [r["overhead"] for r in result.rows]
+    # Rising trend: positive correlation between conflicts and overhead.
+    assert np.corrcoef(ratios, overheads)[0, 1] > 0.5

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""The paper's motivating workload: an HPC checkpoint storm.
+
+"in supercomputing's checkpointing process, each process in cluster
+creates some files in a largely common directory that is normally
+managed by multiple servers to improve concurrency; each creation
+requires two sub-operations" (paper §I).
+
+64 simulated MPI ranks dump per-rank state files into one shared
+directory on an 8-server metadata service.  We compare how long the
+whole checkpoint takes under OFS (serial sub-ops, synchronous BDB
+writes) and under Cx (concurrent sub-ops, lazy batched commitment),
+and show the commitment batching at work.
+
+Run:  python examples/checkpoint_storm.py
+"""
+
+from repro import Cluster, ROOT_HANDLE, SimParams, get_protocol
+from repro.fs.ops import FileOperation, OpType
+
+RANKS = 64
+FILES_PER_RANK = 8
+SERVERS = 8
+
+
+def run_checkpoint(protocol: str):
+    cluster = Cluster.build(
+        num_servers=SERVERS,
+        num_clients=8,
+        protocol=get_protocol(protocol),
+        params=SimParams(commit_timeout=0.25),
+        procs_per_client=8,
+        seed=11,
+    )
+    ckpt_dir = cluster.preload_dir(ROOT_HANDLE, "checkpoint.0001")
+    ranks = cluster.all_processes()[:RANKS]
+
+    runners = []
+    for rank_id, proc in enumerate(ranks):
+        ops = [
+            FileOperation(
+                OpType.CREATE,
+                proc.new_op_id(),
+                parent=ckpt_dir,
+                name=f"rank{rank_id:04d}.step{i}.ckpt",
+                target=cluster.placement.allocate_handle(),
+            )
+            for i in range(FILES_PER_RANK)
+        ]
+        runners.append(cluster.run_ops(proc, ops))
+
+    done = cluster.sim.all_of(runners)
+    cluster.sim.run_until(done)
+    checkpoint_time = cluster.sim.now
+    cluster.quiesce_protocol()
+    return cluster, checkpoint_time
+
+
+def main() -> None:
+    results = {}
+    for protocol in ("ofs", "ofs-batched", "cx"):
+        cluster, elapsed = run_checkpoint(protocol)
+        m = cluster.metrics
+        results[protocol] = elapsed
+        line = (
+            f"{protocol:12s} checkpoint in {elapsed * 1e3:8.2f} ms "
+            f"({m.cross_server_ops}/{m.total_ops} creations were cross-server)"
+        )
+        if protocol == "cx":
+            batches = sum(s.role.commit_mgr.batches_launched for s in cluster.servers)
+            lazy = sum(s.role.commit_mgr.lazy_commits for s in cluster.servers)
+            line += f"; {lazy} commitments in {batches} lazy batches"
+        print(line)
+
+    print(
+        f"\nCx finished the checkpoint {1 - results['cx'] / results['ofs']:.0%} "
+        f"faster than OFS "
+        f"(batched write-back alone: {1 - results['ofs-batched'] / results['ofs']:.0%})."
+    )
+    print("Every rank's state files are private, so not a single creation")
+    print("conflicted — exactly the paper's exclusive-access observation.")
+
+
+if __name__ == "__main__":
+    main()

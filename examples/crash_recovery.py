@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Crash a metadata server mid-workload and watch Cx recover from its log.
+
+The demo:
+
+1. runs a create storm with lazy commitment disabled, so every
+   operation's Result-Records pile up as *valid records*;
+2. kills one server (volatile state gone: pending tables, active
+   objects, the store's dirty pages — only the on-disk log survives);
+3. reboots it and runs the paper's recovery protocol: quiesce the file
+   system, scan the log, redo executed sub-ops, resume half-completed
+   commitments in batches, write back, resume service;
+4. verifies the namespace is exactly consistent afterwards.
+
+Run:  python examples/crash_recovery.py
+"""
+
+from repro import Cluster, ROOT_HANDLE, SimParams, get_protocol
+from repro.analysis.consistency import check_namespace_invariants
+from repro.cluster import FailureInjector
+from repro.fs.ops import FileOperation, OpType
+
+
+def main() -> None:
+    params = SimParams(commit_timeout=None, commit_threshold=None,
+                       log_capacity=None, client_retry_timeout=5.0)
+    cluster = Cluster.build(num_servers=4, num_clients=2,
+                            protocol=get_protocol("cx"), params=params,
+                            procs_per_client=4, seed=5)
+    workdir = cluster.preload_dir(ROOT_HANDLE, "data")
+
+    runners = []
+    issued = 0
+    for i, proc in enumerate(cluster.all_processes()):
+        ops = [
+            FileOperation(OpType.CREATE, proc.new_op_id(), parent=workdir,
+                          name=f"p{i}-f{j}",
+                          target=cluster.placement.allocate_handle())
+            for j in range(12)
+        ]
+        issued += len(ops)
+        runners.append(cluster.run_ops(proc, ops))
+    done = cluster.sim.all_of(runners)
+    cluster.sim.run_until(done)
+
+    victim = cluster.servers[0]
+    print(f"workload done: {issued} creations issued; server mds0 holds "
+          f"{victim.wal.valid_bytes} B of valid records "
+          f"({len(victim.role.pending)} pending operations)")
+
+    injector = FailureInjector(cluster)
+    injector.crash_server(0)
+    print("mds0 crashed: volatile state dropped, log survives on disk")
+
+    report = cluster.sim.run_until(injector.recover_server(0))
+    print(f"recovery took {report.duration:.2f}s of simulated time "
+          f"(reboot + log scan + {victim.role.recovery.last_resumed_ops} "
+          f"resumed commitments)")
+
+    cluster.quiesce_protocol()
+    violations = check_namespace_invariants(cluster, known_dirs=[workdir])
+    print(f"consistency check after recovery: "
+          f"{'CLEAN' if not violations else violations}")
+    assert not violations
+
+    # The recovered server serves new requests again.
+    proc = cluster.client_process(0, 0)
+    op = FileOperation(OpType.CREATE, proc.new_op_id(), parent=workdir,
+                       name="post-recovery",
+                       target=cluster.placement.allocate_handle(server=0))
+    runner = cluster.run_ops(proc, [op])
+    result = cluster.sim.run_until(runner)[0]
+    print(f"post-recovery create on the rebooted server: "
+          f"{'ok' if result.ok else result.errno}")
+
+
+if __name__ == "__main__":
+    main()

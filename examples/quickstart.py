@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: build a cluster, run metadata operations, compare protocols.
+
+Creates files in a shared directory on a 5-server cluster under each of
+the five protocols (2PC, CE, OFS, OFS-batched, OFS-Cx) and prints the
+mean cross-server operation latency — the paper's Figure 1 story in
+twenty lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Cluster, ROOT_HANDLE, SimParams, get_protocol
+from repro.fs.ops import FileOperation, OpType
+
+
+def run_protocol(name: str, n_ops: int = 50) -> float:
+    cluster = Cluster.build(
+        num_servers=5,
+        num_clients=2,
+        protocol=get_protocol(name),
+        params=SimParams(commit_timeout=0.5),
+        seed=7,
+    )
+    workdir = cluster.preload_dir(ROOT_HANDLE, "work")
+    proc = cluster.client_process(0, 0)
+
+    ops = [
+        FileOperation(
+            OpType.CREATE,
+            proc.new_op_id(),
+            parent=workdir,
+            name=f"file{i}",
+            target=cluster.placement.allocate_handle(),
+        )
+        for i in range(n_ops)
+    ]
+    runner = cluster.run_ops(proc, ops)
+    cluster.sim.run_until(runner)
+
+    results = runner.value
+    assert all(r.ok for r in results), "every create should succeed"
+    cluster.quiesce_protocol()  # let lazy commitments drain
+
+    # Nothing dangling, nothing orphaned — every protocol is atomic.
+    from repro.analysis.consistency import check_namespace_invariants
+
+    violations = check_namespace_invariants(cluster, known_dirs=[workdir])
+    assert not violations, violations
+
+    return cluster.metrics.mean_latency(cross_only=True)
+
+
+def main() -> None:
+    print(f"{'protocol':14s} {'mean cross-server create latency':>34s}")
+    baseline = None
+    for name in ("2pc", "ce", "ofs", "ofs-batched", "cx"):
+        latency = run_protocol(name)
+        if name == "ofs":
+            baseline = latency
+        rel = f"  ({latency / baseline:.2f}x OFS)" if baseline else ""
+        print(f"{name:14s} {latency * 1e3:>28.3f} ms{rel}")
+    print("\nCx answers after ONE concurrent round trip + a group-committed")
+    print("log write; commitment happens lazily, in batches, off the")
+    print("critical path.")
+
+
+if __name__ == "__main__":
+    main()

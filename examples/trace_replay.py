@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Replay one of the paper's traces across all five protocols.
+
+Regenerates a single column of Figure 5 (plus the 2PC/CE baselines the
+paper describes but does not plot) for a chosen trace.
+
+Run:  python examples/trace_replay.py [trace]     (default: CTH)
+"""
+
+import sys
+
+from repro import Cluster, SimParams, get_protocol
+from repro.workloads import TRACE_SPECS, TraceWorkload, replay_streams
+
+SERVERS = 8
+CLIENT_PROCS = 32
+SCALE = 0.004  # fraction of the original trace to replay
+
+
+def replay(trace: str, protocol: str, seed: int = 3):
+    cluster = Cluster.build(
+        num_servers=SERVERS,
+        num_clients=4,
+        protocol=get_protocol(protocol),
+        params=SimParams(commit_timeout=0.25),
+        procs_per_client=8,
+        seed=seed,
+    )
+    workload = TraceWorkload(TRACE_SPECS[trace], scale=SCALE, seed=seed)
+    streams = workload.build(cluster, cluster.all_processes())
+    return replay_streams(cluster, streams)
+
+
+def main() -> None:
+    trace = sys.argv[1] if len(sys.argv) > 1 else "CTH"
+    if trace not in TRACE_SPECS:
+        raise SystemExit(f"unknown trace {trace!r}; pick from {sorted(TRACE_SPECS)}")
+    spec = TRACE_SPECS[trace]
+    print(
+        f"trace {trace}: {spec.total_ops:,} ops in the original "
+        f"(replaying {SCALE:.1%} on {SERVERS} servers / {CLIENT_PROCS} processes)\n"
+    )
+    results = {p: replay(trace, p) for p in ("2pc", "ce", "ofs", "ofs-batched", "cx")}
+    base = results["ofs"].replay_time
+    print(f"{'protocol':14s} {'replay':>10s} {'vs OFS':>8s} {'msgs':>8s} "
+          f"{'cross':>7s} {'conflicts':>9s}")
+    for protocol, res in results.items():
+        print(
+            f"{protocol:14s} {res.replay_time:9.3f}s "
+            f"{res.replay_time / base:6.2f}x {res.messages:8d} "
+            f"{res.cross_server_ops / res.total_ops:6.1%} {res.conflict_ratio:8.3%}"
+        )
+    print("\n(The paper's Figure 5 plots the ofs / ofs-batched / cx columns.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro list
+    python -m repro table2
+    python -m repro fig5 --seed 1
+    python -m repro all
+
+Each experiment prints the regenerated artifact; see EXPERIMENTS.md for
+the paper-vs-measured discussion.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _experiments():
+    from repro import experiments as exp
+
+    return {
+        "table1": exp.run_table1,
+        "table2": exp.run_table2,
+        "table3": exp.run_table3,
+        "table4": exp.run_table4,
+        "table5": exp.run_table5,
+        "fig4": exp.run_fig4,
+        "fig5": exp.run_fig5,
+        "fig6": exp.run_fig6,
+        "fig7": exp.run_fig7,
+        "fig8": exp.run_fig8,
+        "fig9": exp.run_fig9,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the Cx paper's evaluation artifacts.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (table1..table5, fig4..fig9), 'all', or 'list'",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="master RNG seed (default 0)")
+    args = parser.parse_args(argv)
+
+    registry = _experiments()
+    if args.experiment == "list":
+        print("available experiments:")
+        for name in registry:
+            print(f"  {name}")
+        return 0
+
+    if args.experiment == "all":
+        names = list(registry)
+    elif args.experiment in registry:
+        names = [args.experiment]
+    else:
+        parser.error(
+            f"unknown experiment {args.experiment!r}; try 'list'"
+        )
+
+    for name in names:
+        runner = registry[name]
+        start = time.time()
+        try:
+            result = runner(seed=args.seed)
+        except TypeError:
+            result = runner()  # spec tables take no seed
+        elapsed = time.time() - start
+        print(result.text)
+        print(f"[{name} regenerated in {elapsed:.1f}s wall]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

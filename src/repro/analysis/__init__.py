@@ -1,0 +1,19 @@
+"""Measurement, invariant checking, and report rendering."""
+
+from repro.analysis.metrics import MetricsCollector, OpRecord, TimelineSampler
+from repro.analysis.consistency import (
+    ConsistencyViolation,
+    check_atomicity,
+    check_namespace_invariants,
+)
+from repro.analysis.tables import render_table
+
+__all__ = [
+    "ConsistencyViolation",
+    "MetricsCollector",
+    "OpRecord",
+    "TimelineSampler",
+    "check_atomicity",
+    "check_namespace_invariants",
+    "render_table",
+]

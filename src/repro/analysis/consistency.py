@@ -1,0 +1,160 @@
+"""Cross-server consistency oracle.
+
+The paper's correctness goal: "The whole system should either see the
+outcomes of all sub-ops of a cross-server operation, or none of them.
+Hence, the metadata cross servers are consistent after the execution of
+a cross-server operation."  These checkers inspect the final (quiesced)
+state of every server's shard and report violations:
+
+* dangling directory entries (entry exists, inode does not) — the
+  half-create / half-remove failure modes;
+* orphan inodes (regular inode exists with no entry and no pending
+  unlink accounting) and nlink mismatches;
+* per-operation atomicity, when the test harness supplies the intended
+  operations with disjoint footprints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+
+from repro.fs.objects import DirEntry, FileType, Inode
+from repro.fs.ops import FileOperation, OpType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.builder import Cluster
+
+
+@dataclass(frozen=True)
+class ConsistencyViolation:
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.detail}"
+
+
+def _gather(cluster: "Cluster", durable_only: bool = False):
+    """Collect (dirents, inodes) across all servers' shards."""
+    dirents: Dict[Tuple[int, str], DirEntry] = {}
+    inodes: Dict[int, Inode] = {}
+    for server in cluster.servers:
+        items = (
+            server.kv.durable_items() if durable_only else server.kv.items()
+        )
+        for key, val in items:
+            if not isinstance(key, tuple):
+                continue
+            if key[0] == "d" and isinstance(val, DirEntry):
+                dirents[(val.parent, val.name)] = val
+            elif key[0] == "i" and isinstance(val, Inode):
+                # Parent-directory stubs replicate a directory handle on
+                # several servers; keep the real inode (prefer the one on
+                # the handle's home server).
+                handle = key[1]
+                home = cluster.placement.inode_server(handle)
+                if handle not in inodes or server.index == home:
+                    inodes[handle] = val
+    return dirents, inodes
+
+
+def check_namespace_invariants(
+    cluster: "Cluster",
+    durable_only: bool = False,
+    known_dirs: Optional[Iterable[int]] = None,
+) -> List[ConsistencyViolation]:
+    """Referential-integrity check over the whole namespace.
+
+    ``known_dirs`` lists directory handles created during setup
+    (preloaded), whose inodes may legitimately lack entries.
+    """
+    violations: List[ConsistencyViolation] = []
+    dirents, inodes = _gather(cluster, durable_only)
+    known = set(known_dirs or ())
+
+    link_counts: Dict[int, int] = {}
+    for (parent, name), ent in dirents.items():
+        link_counts[ent.target] = link_counts.get(ent.target, 0) + 1
+        if ent.target not in inodes:
+            violations.append(
+                ConsistencyViolation(
+                    "dangling-entry",
+                    f"entry ({parent},{name!r}) -> {ent.target} but no inode",
+                )
+            )
+
+    for handle, inode in inodes.items():
+        if inode.ftype is FileType.DIRECTORY:
+            continue  # directory stubs' nlink is not globally meaningful
+        have = link_counts.get(handle, 0)
+        if have == 0 and handle not in known:
+            violations.append(
+                ConsistencyViolation(
+                    "orphan-inode", f"inode {handle} (nlink={inode.nlink}) has no entry"
+                )
+            )
+        elif have and inode.nlink != have:
+            violations.append(
+                ConsistencyViolation(
+                    "nlink-mismatch",
+                    f"inode {handle} nlink={inode.nlink} but {have} entries",
+                )
+            )
+    return violations
+
+
+def check_atomicity(
+    cluster: "Cluster",
+    operations: Iterable[Tuple[FileOperation, bool]],
+    durable_only: bool = False,
+) -> List[ConsistencyViolation]:
+    """Per-operation all-or-nothing check.
+
+    ``operations`` pairs each issued operation with whether the client
+    saw it succeed.  Only meaningful when operations have disjoint
+    (parent, name, target) footprints — the test harness guarantees it.
+    """
+    violations: List[ConsistencyViolation] = []
+    dirents, inodes = _gather(cluster, durable_only)
+
+    for op, ok in operations:
+        if op.op_type in (OpType.CREATE, OpType.MKDIR):
+            has_entry = (op.parent, op.name) in dirents
+            has_inode = op.target in inodes
+            if ok and not (has_entry and has_inode):
+                violations.append(
+                    ConsistencyViolation(
+                        "lost-op",
+                        f"{op.op_type.value} {op.op_id} reported ok but "
+                        f"entry={has_entry} inode={has_inode}",
+                    )
+                )
+            elif not ok and (has_entry or has_inode):
+                violations.append(
+                    ConsistencyViolation(
+                        "partial-op",
+                        f"{op.op_type.value} {op.op_id} failed but "
+                        f"entry={has_entry} inode={has_inode}",
+                    )
+                )
+        elif op.op_type in (OpType.REMOVE, OpType.UNLINK, OpType.RMDIR):
+            has_entry = (op.parent, op.name) in dirents
+            has_inode = op.target in inodes if op.target is not None else False
+            if ok and (has_entry or has_inode):
+                violations.append(
+                    ConsistencyViolation(
+                        "partial-op",
+                        f"{op.op_type.value} {op.op_id} ok but entry={has_entry} "
+                        f"inode={has_inode}",
+                    )
+                )
+            elif not ok and has_entry != has_inode:
+                violations.append(
+                    ConsistencyViolation(
+                        "partial-op",
+                        f"{op.op_type.value} {op.op_id} failed but "
+                        f"entry={has_entry} != inode={has_inode}",
+                    )
+                )
+    return violations

@@ -1,0 +1,158 @@
+"""Run-time measurement: per-operation records and periodic samplers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.fs.ops import OpType
+from repro.sim import Simulator
+from repro.storage.wal import OpId
+
+
+@dataclass
+class OpRecord:
+    """One completed client operation."""
+
+    op_id: OpId
+    op_type: OpType
+    cross_server: bool
+    ok: bool
+    errno: Optional[str]
+    start: float
+    end: float
+    #: True when the operation conflicted with a pending operation
+    #: (blocked behind an immediate commitment) — drives Table II.
+    conflicted: bool = False
+
+    @property
+    def latency(self) -> float:
+        return self.end - self.start
+
+
+class MetricsCollector:
+    """Accumulates operation records and derived statistics."""
+
+    def __init__(self) -> None:
+        self.ops: List[OpRecord] = []
+
+    def record(self, rec: OpRecord) -> None:
+        self.ops.append(rec)
+
+    def record_op(self, op, plan, result, start: float, end: float) -> None:
+        """Convenience wrapper used by the client-process runtime."""
+        self.record(
+            OpRecord(
+                op_id=op.op_id,
+                op_type=op.op_type,
+                cross_server=plan.cross_server,
+                ok=result.ok,
+                errno=result.errno,
+                start=start,
+                end=end,
+                conflicted=result.conflicted,
+            )
+        )
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def total_ops(self) -> int:
+        return len(self.ops)
+
+    @property
+    def completed_ok(self) -> int:
+        return sum(1 for r in self.ops if r.ok)
+
+    @property
+    def cross_server_ops(self) -> int:
+        return sum(1 for r in self.ops if r.cross_server)
+
+    @property
+    def conflicted_ops(self) -> int:
+        return sum(1 for r in self.ops if r.conflicted)
+
+    @property
+    def conflict_ratio(self) -> float:
+        """Fraction of all metadata operations that raised a conflict."""
+        if not self.ops:
+            return 0.0
+        return self.conflicted_ops / len(self.ops)
+
+    @property
+    def makespan(self) -> float:
+        """Time from first op start to last op end (replay time)."""
+        if not self.ops:
+            return 0.0
+        return max(r.end for r in self.ops) - min(r.start for r in self.ops)
+
+    def throughput(self) -> float:
+        """Completed operations per second of virtual time."""
+        span = self.makespan
+        return len(self.ops) / span if span > 0 else 0.0
+
+    def mean_latency(self, cross_only: bool = False) -> float:
+        lat = [r.latency for r in self.ops if (r.cross_server or not cross_only)]
+        return float(np.mean(lat)) if lat else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        if not self.ops:
+            return 0.0
+        return float(np.percentile([r.latency for r in self.ops], q))
+
+    def ops_by_type(self) -> Dict[OpType, int]:
+        out: Dict[OpType, int] = {}
+        for r in self.ops:
+            out[r.op_type] = out.get(r.op_type, 0) + 1
+        return out
+
+
+class TimelineSampler:
+    """Periodically samples a probe function against virtual time.
+
+    Used for Figure 7(b): the valid-record footprint of a server's log
+    over the course of a replay.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        probe: Callable[[], float],
+        period: float,
+        name: str = "sampler",
+    ) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.sim = sim
+        self.probe = probe
+        self.period = period
+        self.name = name
+        self.samples: List[Tuple[float, float]] = []
+        self._proc = sim.process(self._loop())
+
+    def _loop(self):
+        from repro.sim import Interrupt
+
+        try:
+            while True:
+                self.samples.append((self.sim.now, float(self.probe())))
+                yield self.sim.timeout(self.period)
+        except Interrupt:
+            return
+
+    def stop(self) -> None:
+        """Halt sampling (e.g. when the observed replay has ended)."""
+        if self._proc.is_alive:
+            self._proc.interrupt("sampler stopped")
+
+    def series(self) -> Tuple[np.ndarray, np.ndarray]:
+        if not self.samples:
+            return np.empty(0), np.empty(0)
+        arr = np.asarray(self.samples)
+        return arr[:, 0], arr[:, 1]
+
+    @property
+    def peak(self) -> float:
+        return max((v for _t, v in self.samples), default=0.0)

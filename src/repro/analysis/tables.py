@@ -1,0 +1,52 @@
+"""Plain-text rendering of experiment tables and figure series."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str = "",
+    floatfmt: str = ".3f",
+) -> str:
+    """Monospace table, GitHub-markdown-ish, for experiment reports."""
+
+    def fmt(cell: Any) -> str:
+        if isinstance(cell, float):
+            return format(cell, floatfmt)
+        return str(cell)
+
+    str_rows: List[List[str]] = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def render_series(
+    x_label: str,
+    xs: Sequence[Any],
+    series: dict,
+    title: str = "",
+    floatfmt: str = ".3f",
+) -> str:
+    """Render figure data as one row per x value, one column per curve."""
+    headers = [x_label] + list(series.keys())
+    rows = [
+        [x] + [series[name][i] for name in series]
+        for i, x in enumerate(xs)
+    ]
+    return render_table(headers, rows, title=title, floatfmt=floatfmt)

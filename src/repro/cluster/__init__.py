@@ -1,0 +1,17 @@
+"""Cluster runtime: servers, clients, assembly, failure injection/detection."""
+
+from repro.cluster.server import MetadataServer
+from repro.cluster.client import ClientNode, ClientProcess, OpResult
+from repro.cluster.builder import Cluster
+from repro.cluster.failure import FailureInjector
+from repro.cluster.detector import FailureDetector
+
+__all__ = [
+    "ClientNode",
+    "FailureDetector",
+    "ClientProcess",
+    "Cluster",
+    "FailureInjector",
+    "MetadataServer",
+    "OpResult",
+]

@@ -1,0 +1,175 @@
+"""Cluster assembly: servers + clients + protocol + placement.
+
+:class:`Cluster` is the top-level object of the public API::
+
+    from repro import Cluster, SimParams
+    from repro.protocols import CxProtocol
+
+    cluster = Cluster.build(num_servers=8, num_clients=32,
+                            protocol=CxProtocol(), params=SimParams())
+    proc = cluster.client_process(0, 0)
+    ... issue operations, run the simulator ...
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.metrics import MetricsCollector
+from repro.cluster.client import ClientNode, ClientProcess
+from repro.cluster.server import MetadataServer, server_node_id
+from repro.fs.objects import DirEntry, FileType, Inode, dirent_key, inode_key
+from repro.fs.ops import FileOperation, OpPlan, OpType, split_operation
+from repro.fs.placement import PlacementPolicy
+from repro.net.network import Network
+from repro.params import SimParams
+from repro.sim import RngRegistry, Simulator
+
+#: Handle of the root directory.
+ROOT_HANDLE = 0
+
+
+class Cluster:
+    """A fully wired simulated cluster."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: SimParams,
+        protocol,
+        num_servers: int,
+        num_clients: int,
+        procs_per_client: int = 1,
+        seed: int = 0,
+    ) -> None:
+        from repro.protocols.base import Protocol  # avoid import cycle
+
+        if not isinstance(protocol, Protocol):
+            raise TypeError(f"protocol must be a Protocol, got {protocol!r}")
+        self.sim = sim
+        self.params = params
+        self.protocol = protocol
+        self.rngs = RngRegistry(seed)
+        self.network = Network(sim, params)
+        self.placement = PlacementPolicy(num_servers, self.rngs.stream("placement"))
+        self.metrics = MetricsCollector()
+        self.servers: List[MetadataServer] = [
+            MetadataServer(sim, self.network, params, i) for i in range(num_servers)
+        ]
+        self.clients: List[ClientNode] = [
+            ClientNode(sim, self.network, c) for c in range(num_clients)
+        ]
+        self._processes: Dict[tuple, ClientProcess] = {}
+        self.procs_per_client = procs_per_client
+        for server in self.servers:
+            server.attach_role(protocol.make_role(server, self))
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        num_servers: int,
+        num_clients: int,
+        protocol,
+        params: Optional[SimParams] = None,
+        procs_per_client: int = 1,
+        seed: int = 0,
+        sim: Optional[Simulator] = None,
+    ) -> "Cluster":
+        params = params or SimParams()
+        params = params.derived_copy(num_servers=num_servers)
+        sim = sim or Simulator()
+        return cls(
+            sim,
+            params,
+            protocol,
+            num_servers,
+            num_clients,
+            procs_per_client=procs_per_client,
+            seed=seed,
+        )
+
+    # -- accessors --------------------------------------------------------------
+
+    def server(self, index: int) -> MetadataServer:
+        return self.servers[index]
+
+    def server_id(self, index: int) -> str:
+        return server_node_id(index)
+
+    def client_process(self, client: int, proc: int) -> ClientProcess:
+        """The (cached) process ``proc`` of client machine ``client``."""
+        key = (client, proc)
+        cp = self._processes.get(key)
+        if cp is None:
+            cp = ClientProcess(self, self.clients[client], proc)
+            self._processes[key] = cp
+        return cp
+
+    def all_processes(self) -> List[ClientProcess]:
+        return [
+            self.client_process(c, p)
+            for c in range(len(self.clients))
+            for p in range(self.procs_per_client)
+        ]
+
+    # -- planning -----------------------------------------------------------------
+
+    def plan(self, op: FileOperation) -> OpPlan:
+        return split_operation(op, self.placement)
+
+    # -- namespace preloading --------------------------------------------------------
+
+    def preload_dir(self, parent: int, name: str) -> int:
+        """Instantly install a directory (setup only, durable, no IO time)."""
+        handle = self.placement.allocate_handle()
+        iserver = self.servers[self.placement.inode_server(handle)]
+        iserver.kv._durable[inode_key(handle)] = Inode(
+            handle, FileType.DIRECTORY, nlink=2
+        )
+        dserver = self.servers[self.placement.dirent_server(parent, name)]
+        dserver.kv._durable[dirent_key(parent, name)] = DirEntry(
+            parent, name, handle, is_dir=True
+        )
+        return handle
+
+    def preload_file(self, parent: int, name: str, server: Optional[int] = None) -> int:
+        """Instantly install a regular file (setup only)."""
+        handle = self.placement.allocate_handle(server)
+        iserver = self.servers[self.placement.inode_server(handle)]
+        iserver.kv._durable[inode_key(handle)] = Inode(handle, FileType.REGULAR, nlink=1)
+        dserver = self.servers[self.placement.dirent_server(parent, name)]
+        dserver.kv._durable[dirent_key(parent, name)] = DirEntry(parent, name, handle)
+        return handle
+
+    def preload_files(self, parent: int, names: Sequence[str]) -> List[int]:
+        return [self.preload_file(parent, n) for n in names]
+
+    # -- convenience for tests/examples ------------------------------------------------
+
+    def run_ops(self, process: ClientProcess, ops: Sequence[FileOperation]):
+        """Process body running ``ops`` back-to-back; returns results."""
+
+        def _runner():
+            results = []
+            for op in ops:
+                res = yield from process.perform(op)
+                results.append(res)
+            return results
+
+        return self.sim.process(_runner())
+
+    def quiesce_protocol(self, timeout: float = 120.0) -> None:
+        """Drive the sim until all protocol background work settles.
+
+        Runs the simulator until the event queue drains (bounded by
+        ``timeout`` of additional virtual time) so lazy commitments and
+        flushes complete before consistency checks.
+        """
+        for server in self.servers:
+            if server.role is not None:
+                server.role.flush_now()
+        deadline = self.sim.now + timeout
+        while self.sim.peek() <= deadline:
+            self.sim.step()

@@ -1,0 +1,95 @@
+"""Failure injection: crash and reboot nodes mid-run.
+
+A server crash loses all volatile state (inbox, handler processes,
+pending protocol tables, KV overlay/dirty set) but keeps durable state
+(the on-disk log and the flushed KV contents).  A client crash simply
+silences the client — which is how the paper's SE baseline ends up with
+orphan objects (the CLEAR message never goes out).
+
+Protocol-specific recovery (Cx's log-driven resumption) is implemented
+by the protocol role; :meth:`FailureInjector.recover_server` drives it
+and reports the recovery duration (Table V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.builder import Cluster
+
+
+@dataclass
+class RecoveryReport:
+    """Timing breakdown of one server recovery."""
+
+    server: int
+    crash_time: float
+    recovery_start: float
+    recovery_end: float
+    valid_bytes_at_crash: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.recovery_end - self.recovery_start
+
+
+class FailureInjector:
+    """Crash/reboot driver for a cluster."""
+
+    def __init__(self, cluster: "Cluster") -> None:
+        self.cluster = cluster
+
+    # -- primitives ----------------------------------------------------------
+
+    def crash_server(self, index: int) -> int:
+        """Kill server ``index``; returns the log's valid bytes at crash."""
+        server = self.cluster.servers[index]
+        valid = server.wal.valid_bytes
+        server.crash()
+        return valid
+
+    def crash_client(self, index: int) -> None:
+        self.cluster.clients[index].crash()
+
+    def crash_server_at(self, index: int, at: float) -> None:
+        """Schedule a server crash at virtual time ``at``."""
+
+        def _crasher():
+            delay = at - self.cluster.sim.now
+            if delay > 0:
+                yield self.cluster.sim.timeout(delay)
+            self.crash_server(index)
+
+        self.cluster.sim.process(_crasher())
+
+    # -- recovery ---------------------------------------------------------------
+
+    def recover_server(self, index: int):
+        """Process body: reboot ``index`` and run the protocol recovery.
+
+        Returns a :class:`RecoveryReport`.  The role's ``recover``
+        generator does the actual work (quiesce, log scan, resumption).
+        """
+        cluster = self.cluster
+        server = cluster.servers[index]
+
+        def _recover():
+            crash_time = cluster.sim.now
+            valid = server.wal.valid_bytes
+            start = cluster.sim.now
+            server.reboot()
+            role = server.role
+            if role is not None and hasattr(role, "recover"):
+                yield from role.recover()
+            end = cluster.sim.now
+            return RecoveryReport(
+                server=index,
+                crash_time=crash_time,
+                recovery_start=start,
+                recovery_end=end,
+                valid_bytes_at_crash=valid,
+            )
+
+        return cluster.sim.process(_recover())

@@ -1,0 +1,159 @@
+"""Metadata server runtime.
+
+A :class:`MetadataServer` owns one disk, one KV store (the BDB stand-in),
+one operation log, and one namespace shard.  Its main loop pulls
+messages off the inbox and spawns a handler process per message, so a
+handler blocked on disk or on a conflict never stalls the inbox.  The
+protocol in use is plugged in as a *role* object (see
+:mod:`repro.protocols.base`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Optional, Set
+
+from repro.fs.namespace import NamespaceShard
+from repro.net.message import Message, MessageKind
+from repro.net.network import Network, Node
+from repro.params import SimParams
+from repro.sim import Interrupt, Process, Simulator
+from repro.sim.resources import ResourceClosed
+from repro.storage.disk import Disk
+from repro.storage.kvstore import KVStore
+from repro.storage.wal import WriteAheadLog
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.protocols.base import ServerRole
+
+#: Disk layout: the operation log occupies the first region, the KV
+#: store (BDB file) the rest.  Keeping them apart models the real
+#: seek between log appends and database write-back.
+LOG_REGION_BASE = 0
+KV_REGION_BASE = 256 * 1024 * 1024
+
+
+def server_node_id(index: int) -> str:
+    return f"mds{index}"
+
+
+class MetadataServer(Node):
+    """One metadata server (MDS) of the simulated file system."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        params: SimParams,
+        index: int,
+    ) -> None:
+        super().__init__(sim, network, server_node_id(index))
+        self.params = params
+        self.index = index
+        self.disk = Disk(sim, params, name=f"disk{index}")
+        self.kv = KVStore(sim, self.disk, params, base_offset=KV_REGION_BASE)
+        self.wal = WriteAheadLog(
+            sim,
+            self.disk,
+            params,
+            base_offset=LOG_REGION_BASE,
+            capacity=params.log_capacity,
+            name=f"wal{index}",
+        )
+        self.shard = NamespaceShard(self.kv, index)
+        self.role: Optional["ServerRole"] = None
+        #: True while the cluster is in the recovery state — client
+        #: requests are buffered, not served (paper §III.D: "the whole
+        #: file system stops responding new requests").
+        self.quiesced = False
+        self._quiesce_buffer: Deque[Message] = deque()
+        self._handlers: Set[Process] = set()
+        self._loop: Optional[Process] = None
+        self.requests_served = 0
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach_role(self, role: "ServerRole") -> None:
+        self.role = role
+        self.start()
+
+    def start(self) -> None:
+        if self._loop is None or self._loop.triggered:
+            self._loop = self.sim.process(self._main_loop())
+        if self.role is not None:
+            self.role.start()
+
+    # -- main loop -----------------------------------------------------------
+
+    def _main_loop(self):
+        while True:
+            try:
+                msg = yield self.inbox.get()
+            except ResourceClosed:
+                return  # crashed; reboot() starts a fresh loop
+            if msg.kind is MessageKind.PING:
+                # Liveness is independent of service: answer heartbeats
+                # even while quiesced.
+                self.send_reply(msg, MessageKind.PONG, {})
+                continue
+            if self.quiesced and msg.kind is MessageKind.REQ:
+                self._quiesce_buffer.append(msg)
+                continue
+            yield self.sim.timeout(self.params.cpu_dispatch)
+            self.spawn_handler(msg)
+
+    def spawn_handler(self, msg: Message) -> Process:
+        """Run the role's handler for ``msg`` as an independent process."""
+        assert self.role is not None, "server has no protocol role attached"
+        proc = self.sim.process(self._guarded_handle(msg))
+        self._handlers.add(proc)
+        proc.callbacks.append(lambda _ev: self._handlers.discard(proc))  # type: ignore[union-attr]
+        return proc
+
+    def _guarded_handle(self, msg: Message):
+        from repro.protocols.base import is_rename_message
+
+        self.requests_served += 1
+        try:
+            if is_rename_message(msg):
+                yield from self.role.handle_rename(msg)  # type: ignore[union-attr]
+            else:
+                yield from self.role.handle(msg)  # type: ignore[union-attr]
+        except (Interrupt, ResourceClosed, ConnectionError):
+            return  # torn down by a crash (ours or a peer's)
+
+    # -- quiesce (recovery state) ----------------------------------------------
+
+    def quiesce(self) -> None:
+        self.quiesced = True
+
+    def unquiesce(self) -> None:
+        self.quiesced = False
+        while self._quiesce_buffer:
+            self.inbox.put(self._quiesce_buffer.popleft())
+
+    # -- failure injection --------------------------------------------------------
+
+    def crash(self) -> None:
+        """Kill the server process: volatile state is lost, the log and
+        the durable KV contents survive."""
+        super().crash()  # close inbox, fail pending RPCs
+        for proc in list(self._handlers):
+            proc.interrupt("server crash")
+        self._handlers.clear()
+        self._quiesce_buffer.clear()
+        self.kv.crash()
+        self.wal.crash()
+        if self.role is not None:
+            self.role.on_crash()
+        self._loop = None
+
+    def reboot(self) -> None:
+        """Restart after a crash; protocol recovery runs separately."""
+        super().reboot()
+        self.start()
+        if self.role is not None:
+            self.role.on_reboot()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<MetadataServer {self.node_id}>"

@@ -1,0 +1,37 @@
+"""Cx — the paper's contribution.
+
+Concurrent execution of cross-server sub-operations with lazy, batched
+commitment; conflict detection via active objects; disordered-conflict
+resolution via invalidation + conflict hints; log-driven recovery.
+
+Public entry point: :class:`CxProtocol` (plug into
+:meth:`repro.cluster.builder.Cluster.build`).
+"""
+
+from repro.core.active import ActiveObjectTable, conflict_keys
+from repro.core.coordinator import CommitManager
+from repro.core.hints import ResponseHint, may_supersede, settled
+from repro.core.participant import ParticipantHalf
+from repro.core.protocol import CxProtocol
+from repro.core.records import PendingOp, PendingState, RecordType, make_result_record
+from repro.core.recovery import CxRecovery
+from repro.core.role import CxRole
+from repro.core.triggers import CommitTriggers
+
+__all__ = [
+    "ActiveObjectTable",
+    "CommitManager",
+    "CommitTriggers",
+    "CxProtocol",
+    "CxRecovery",
+    "CxRole",
+    "ParticipantHalf",
+    "PendingOp",
+    "PendingState",
+    "RecordType",
+    "ResponseHint",
+    "conflict_keys",
+    "make_result_record",
+    "may_supersede",
+    "settled",
+]

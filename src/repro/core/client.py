@@ -1,0 +1,122 @@
+"""Cx client driver (paper §III.B step 1–2 and the completion rule).
+
+The process fans the two sub-ops out **concurrently**, then collects
+responses on its per-operation channel.  A server may answer more than
+once for the same sub-op (a response can be superseded after an
+invalidation), so the driver keeps the *latest* response per role and
+applies the settled-pair rule of :mod:`repro.core.hints`:
+
+* both YES, settled  → operation complete (commitment happens lazily);
+* both NO, settled   → operation complete as a clean failure;
+* mixed, settled     → disagreement: send L-COM, wait for ALL-NO.
+
+An optional retry timeout (``SimParams.client_retry_timeout``) makes
+the driver resilient to server crashes: requests are resent and the
+server-side duplicate tables guarantee exactly-once execution.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Generator, Optional
+
+from repro.cluster.client import ClientProcess, OpResult
+from repro.core.hints import ResponseHint, settled
+from repro.fs.ops import OpPlan
+from repro.net.message import Message, MessageKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.builder import Cluster
+
+
+def cx_client_perform(
+    cluster: "Cluster", process: ClientProcess, plan: OpPlan
+) -> Generator:
+    node = process.node
+    sim = cluster.sim
+    op_id = plan.op.op_id
+    retry_timeout = getattr(cluster.params, "client_retry_timeout", None)
+    channel = node.register_op(op_id)
+
+    def send_requests() -> None:
+        node.send(
+            cluster.server_id(plan.coordinator),
+            MessageKind.REQ,
+            {
+                "subop": plan.coord_subop,
+                "op_id": op_id,
+                "other_server": plan.participant,
+            },
+        )
+        if plan.cross_server:
+            node.send(
+                cluster.server_id(plan.participant),
+                MessageKind.REQ,
+                {
+                    "subop": plan.part_subop,
+                    "op_id": op_id,
+                    "other_server": plan.coordinator,
+                },
+            )
+
+    def receive():
+        """Get the next response, resending requests on timeout."""
+        pending_get = channel.get()
+        while True:
+            if retry_timeout is None:
+                msg = yield pending_get
+                return msg
+            winner, value = yield sim.any_of(
+                [pending_get, sim.timeout(retry_timeout)]
+            )
+            if winner is pending_get:
+                return value
+            send_requests()  # duplicate REQs are deduplicated server-side
+
+    try:
+        send_requests()
+
+        if not plan.cross_server:
+            msg: Message = yield from receive()
+            p = msg.payload
+            return OpResult(
+                ok=bool(p.get("ok")),
+                errno=p.get("errno"),
+                value=p.get("value"),
+                conflicted=bool(p.get("conflicted")),
+            )
+
+        latest: Dict[str, dict] = {}
+        conflicted = False
+        lcom_sent = False
+        while True:
+            msg = yield from receive()
+            p = msg.payload
+            if msg.kind is MessageKind.ALL_NO:
+                # Every successful execution was aborted (step 7b).
+                return OpResult(ok=False, errno=p.get("errno"), conflicted=conflicted)
+            latest[p["role"]] = p
+            conflicted = conflicted or bool(p.get("conflicted"))
+            if "coord" not in latest or "part" not in latest:
+                continue
+            hc = ResponseHint.from_payload(latest["coord"])
+            hp = ResponseHint.from_payload(latest["part"])
+            if not settled(hc, hp):
+                continue  # a response may still be superseded; keep waiting
+            ok_c = latest["coord"]["ok"]
+            ok_p = latest["part"]["ok"]
+            if ok_c and ok_p:
+                return OpResult(ok=True, conflicted=conflicted)
+            if not ok_c and not ok_p:
+                errno = latest["coord"]["errno"] or latest["part"]["errno"]
+                return OpResult(ok=False, errno=errno, conflicted=conflicted)
+            # Disagreement: ask the coordinator for an immediate
+            # commitment; the ALL-NO closes the operation.
+            if not lcom_sent:
+                lcom_sent = True
+                node.send(
+                    cluster.server_id(plan.coordinator),
+                    MessageKind.L_COM,
+                    {"op": op_id, "want_all_no": True},
+                )
+    finally:
+        node.unregister_op(op_id)

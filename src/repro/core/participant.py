@@ -1,0 +1,187 @@
+"""Cx commitment phase, participant side (paper §III.B steps 4 & 6,
+plus the disordered-conflict handling of §III.C).
+
+On a VOTE the participant answers from its Result-Records.  Three
+states are possible per voted operation:
+
+* **executed** here → vote its recorded result;
+* **blocked** here behind another *executed, uncommitted* operation B →
+  this is the disordered conflict of Fig. 3(b): the coordinator's vote
+  carries its execution order, so the participant *invalidates* B
+  (undoes its memory effects, invalidates its Result-Record, requeues
+  its request as a new arrival), executes the voted sub-op inline, and
+  votes on the fresh result;
+* **not arrived yet** (the client's request is still on the wire, or
+  queued behind an in-flight commitment) → the vote waits until the
+  sub-op executes.
+
+On a COMMIT-REQ/ABORT-REQ batch the participant applies/undoes, writes
+Commit/Abort-Records (terminal for the participant: its records become
+prunable), flushes its store, releases the operations' active objects,
+and ACKs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Tuple
+
+from repro.core.records import PendingOp, PendingState, RecordType
+from repro.net.message import Message, MessageKind
+from repro.sim import Event
+from repro.storage.wal import LogRecord, OpId
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.role import CxRole
+
+
+class ParticipantHalf:
+    """VOTE / COMMIT-REQ handlers and the invalidation machinery."""
+
+    def __init__(self, role: "CxRole") -> None:
+        self.role = role
+        #: Votes waiting for an op to execute here: op_id -> events.
+        self._vote_waiters: Dict[OpId, List[Event]] = {}
+        self.invalidations = 0
+        self.deferred_votes = 0
+
+    def on_crash(self) -> None:
+        self._vote_waiters.clear()
+
+    def fulfill_vote_waiters(self, op_id: OpId) -> None:
+        for ev in self._vote_waiters.pop(op_id, ()):
+            if not ev.triggered:
+                ev.succeed()
+
+    def has_vote_waiter(self, op_id: OpId) -> bool:
+        """A deferred vote exists for ``op_id`` — i.e. the coordinator
+        has already ordered it first in an in-flight commitment."""
+        return bool(self._vote_waiters.get(op_id))
+
+    # -- VOTE -----------------------------------------------------------------
+
+    def handle_vote(self, msg: Message) -> Generator:
+        role = self.role
+        votes: Dict[OpId, dict] = {}
+        for op_id in msg.payload["ops"]:
+            pend = role.pending.get(op_id)
+            if pend is None:
+                pend = yield from self._materialize(op_id)
+            votes[op_id] = {"ok": pend.ok, "errno": pend.result.errno}
+            # Once voted, the op may no longer be invalidated.
+            pend.state = PendingState.COMMITTING
+        size = (
+            role.params.msg_base_size
+            + role.params.msg_per_op_size * len(votes)
+        )
+        role.server.send_reply(msg, MessageKind.YES, {"votes": votes}, size=size)
+
+    def _materialize(self, op_id: OpId) -> Generator:
+        """Get the voted op executed here, whatever its current state."""
+        role = self.role
+        while True:
+            pend = role.pending.get(op_id)
+            if pend is not None:
+                return pend
+            blocked = self._find_blocked(op_id)
+            if blocked is not None:
+                holder, blocked_msg = blocked
+                holder_pend = role.pending.get(holder)
+                if (
+                    holder_pend is not None
+                    and holder_pend.state is PendingState.EXECUTED
+                ):
+                    # Disordered conflict: enforce the coordinator's order.
+                    # Detach the voted request first so the invalidation's
+                    # requeue does not double-dispatch it.
+                    role.active.unblock_one(holder, blocked_msg)
+                    self.invalidate(holder_pend)
+                    pend = yield from role.execute_now(blocked_msg)
+                    return pend
+                # Holder is mid-commitment: once it resolves, the blocked
+                # request is re-injected and executes; wait for that.
+            ev = Event(role.sim)
+            self._vote_waiters.setdefault(op_id, []).append(ev)
+            self.deferred_votes += 1
+            yield ev
+
+    def _find_blocked(self, op_id: OpId) -> Optional[Tuple[OpId, Message]]:
+        """Locate ``op_id``'s blocked request and its holder, if any."""
+        active = self.role.active
+        for holder, msgs in list(active._blocked.items()):
+            for m in msgs:
+                sub = m.payload.get("subop")
+                if sub is not None and sub.op_id == op_id:
+                    return holder, m
+        return None
+
+    def invalidate(self, holder: PendingOp) -> None:
+        """Undo an executed-but-uncommitted op and requeue its request.
+
+        Paper Fig. 3(b) step 4: "the participant first invalidates the
+        execution of Ep-B by invalidating the Result-Record of Ep-B ...
+        The invalidated Ep-B is re-queued as a new arrival sub-op
+        request."
+        """
+        role = self.role
+        self.invalidations += 1
+        role.server.shard.apply_deferred(holder.result.undo)
+        role.server.wal.invalidate(holder.record)
+        role.pending.pop(holder.op_id, None)
+        blocked = role.active.release(holder.op_id, committed=False)
+        # The holder itself becomes a fresh arrival again...
+        if holder.req_msg is not None:
+            role.reinject_blocked([holder.req_msg], ordered_after=None)
+        # ...and whatever was blocked behind it gets re-dispatched (the
+        # voted sub-op among them is executed inline by the caller, and
+        # its message was already removed from this list's source).
+        role.reinject_blocked(
+            [m for m in blocked if m is not holder.req_msg], ordered_after=None
+        )
+
+    # -- COMMIT-REQ / ABORT-REQ ---------------------------------------------------
+
+    def handle_decide(self, msg: Message) -> Generator:
+        role = self.role
+        decisions: Dict[OpId, bool] = msg.payload["decisions"]
+        records = []
+        to_release: List[Tuple[PendingOp, bool]] = []
+        for op_id, commit in decisions.items():
+            pend = role.pending.pop(op_id, None)
+            if pend is None:  # pragma: no cover - duplicate decide
+                continue
+            if not commit and pend.ok:
+                role.server.shard.apply_deferred(pend.result.undo)
+            records.append(
+                LogRecord(
+                    op_id,
+                    (RecordType.COMMIT if commit else RecordType.ABORT).value,
+                    size=role.params.log_record_size,
+                )
+            )
+            pend.state = PendingState.DONE
+            role.completed[op_id] = {
+                "committed": commit,
+                "errno": pend.result.errno,
+            }
+            to_release.append((pend, commit))
+
+        if records:
+            yield role.sim.all_of([role.server.wal.append(r, urgent=True) for r in records])
+        # Terminal for the participant: prune, then write back the
+        # decided operations' objects.
+        for op_id in decisions:
+            role.server.wal.prune_op(op_id)
+        keys = [k for pend, _c in to_release for k, _v in pend.result.updates]
+        flush = role.server.kv.flush_keys(keys)
+        if flush is not None:
+            yield flush
+        for pend, _commit in to_release:
+            released = role.active.release(pend.op_id, committed=True)
+            role.reinject_blocked(released, ordered_after=pend)
+        size = (
+            role.params.msg_base_size
+            + role.params.msg_per_op_size * len(decisions)
+        )
+        role.server.send_reply(
+            msg, MessageKind.ACK, {"acked": list(decisions)}, size=size
+        )

@@ -1,0 +1,109 @@
+"""Cx log records and pending-operation bookkeeping (paper §III.A).
+
+Three record families, each tagged with the operation id that owns it:
+
+* **Result-Record** — "the result of corresponding sub-operation at
+  each server".  Ours additionally carries the sub-op, the computed
+  updates and their undo so a rebooted server can redo/rollback from
+  the log alone.
+* **Commit-Record / Abort-Record** — the commitment decision.  For the
+  participant this is terminal (its records become prunable).
+* **Complete-Record** — coordinator only; the whole operation is done
+  and all its records are prunable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from repro.fs.namespace import ExecResult
+from repro.fs.ops import SubOp
+from repro.net.message import Message
+from repro.storage.wal import LogRecord, OpId
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+class RecordType(str, enum.Enum):
+    RESULT = "RESULT"
+    COMMIT = "COMMIT"
+    ABORT = "ABORT"
+    COMPLETE = "COMPLETE"
+
+
+class PendingState(str, enum.Enum):
+    #: Executed and logged; commitment not yet launched.
+    EXECUTED = "executed"
+    #: A commitment (lazy or immediate) is in flight.
+    COMMITTING = "committing"
+    #: Commitment finished; kept only in the completed side-table.
+    DONE = "done"
+
+
+def make_result_record(
+    op_id: OpId,
+    subop: SubOp,
+    res: ExecResult,
+    other_server: Optional[int],
+    record_size: int,
+) -> LogRecord:
+    """Build the Result-Record carrying redo/undo info for recovery."""
+    return LogRecord(
+        op_id,
+        RecordType.RESULT.value,
+        payload={
+            "ok": res.ok,
+            "errno": res.errno,
+            "subop": subop,
+            "updates": list(res.updates),
+            "undo": list(res.undo),
+            "other_server": other_server,
+        },
+        size=record_size * max(1, len(res.updates)),
+    )
+
+
+@dataclass
+class PendingOp:
+    """One executed-but-uncommitted operation on one server."""
+
+    op_id: OpId
+    subop: SubOp
+    #: "coord" (we own the dirent / drive commitment), "part", or
+    #: "single" (single-server operation: local commitment only).
+    role: str
+    #: The peer server index (participant for coord-role, coordinator
+    #: for part-role, None for single).
+    other_server: Optional[int]
+    result: ExecResult
+    record: LogRecord
+    #: Conflict keys registered in the active-object table.
+    keys: List[Any] = field(default_factory=list)
+    state: PendingState = PendingState.EXECUTED
+    #: Hint attached to the execution response ([null] or [op_id']).
+    hint: Optional[OpId] = None
+    #: The original client REQ (kept so a re-queued/invalidated sub-op
+    #: can be re-dispatched and re-answered).
+    req_msg: Optional[Message] = None
+    #: Node id of a client waiting for ALL-NO after an L-COM.
+    all_no_dst: Optional[str] = None
+    #: The last response payload sent for this op (resent on duplicate
+    #: REQs after a client-side retry).
+    last_response: Optional[Dict[str, Any]] = None
+    #: Events to succeed when this op's commitment completes.
+    waiters: List[Any] = field(default_factory=list)
+    #: Participant-role only: an L-COM for this op was already sent to
+    #: the coordinator (avoid spamming on repeated conflicts).
+    lcom_sent: bool = False
+    #: An immediate commitment was requested before this op executed
+    #: here (pre-request); honored as soon as it is enqueued.
+    immediate_requested: bool = False
+    #: Coordinator-role only: the participant's errno from its vote.
+    vote_errno: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.result.ok

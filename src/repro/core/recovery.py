@@ -1,0 +1,224 @@
+"""Cx recovery protocol (paper §III.D / §V).
+
+"The recovery process for node starts when the failure detection
+subsystem confirms a crash on any node.  After a crashed server
+reboots, it informs all other collaborating servers to go into the
+recovery state ... In the recovery process, the whole file system stops
+responding new requests.  The main idea of our recovery protocol is to
+resume all half-completed commitments of cross-server operations left
+in the log file on a server before it crashed."
+
+Per surviving record set of an operation, the rebooted server acts as:
+
+===========  ==========================  =====================================
+role         records found               action
+===========  ==========================  =====================================
+any          Complete                    prune (fully done)
+coordinator  Commit/Abort, no Complete   re-send COMMIT-REQ/ABORT-REQ, await
+                                         ACK, write Complete, prune
+coordinator  Result only                 redo the update from the record,
+                                         re-register it pending, commit now
+participant  Commit/Abort                prune (terminal for participant)
+participant  Result only                 redo the update, re-register pending;
+                                         the (alive) coordinator re-commits it
+===========  ==========================  =====================================
+
+The role is determined from the Result-Record itself ("From the
+Result-Record of an operation, the rebooted server can determine
+whether it is the coordinator").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, List
+
+from repro.core.records import PendingOp, PendingState, RecordType
+from repro.net.message import MessageKind
+from repro.storage.wal import LogRecord, OpId
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.role import CxRole
+
+
+class CxRecovery:
+    """Log-driven recovery for one rebooted Cx server."""
+
+    def __init__(self, role: "CxRole") -> None:
+        self.role = role
+        self.recoveries = 0
+        self.last_resumed_ops = 0
+
+    def run(self) -> Generator:
+        role = self.role
+        server = role.server
+        sim = role.sim
+        self.recoveries += 1
+
+        # 1. Tell every collaborating server to enter the recovery
+        #    state; the whole file system stops serving new requests.
+        peers = [
+            s for s in role.cluster.servers if s.index != server.index
+        ]
+        acks = [
+            server.request(s.node_id, MessageKind.RECOVERY_BEGIN, {})
+            for s in peers
+        ]
+        server.quiesce()
+        if acks:
+            yield sim.all_of(acks)
+
+        # 2. Reboot overhead, then sequentially scan the on-disk log.
+        yield sim.timeout(role.params.recovery_reboot_cost)
+        yield sim.timeout(server.wal.scan_cost())
+
+        # 3. Classify every operation left in the log.
+        resumed: List[PendingOp] = []
+        finish_decides: List[tuple] = []
+        redo_events: List = []
+        for op_id in list(server.wal.ops_in_log()):
+            records = server.wal.records_of(op_id)
+            types = {r.rtype for r in records if not r.invalid}
+            result_rec = next(
+                (
+                    r
+                    for r in records
+                    if r.rtype == RecordType.RESULT.value and not r.invalid
+                ),
+                None,
+            )
+            if RecordType.COMPLETE.value in types:
+                server.wal.prune_op(op_id)
+                continue
+            if result_rec is None:
+                # Only invalidated/decision records: nothing to resume.
+                server.wal.prune_op(op_id)
+                continue
+            subop = result_rec.payload["subop"]
+            is_coord = subop.role in ("coord", "single")
+            decided = (
+                RecordType.COMMIT.value in types
+                or RecordType.ABORT.value in types
+            )
+            if decided:
+                if not is_coord:
+                    server.wal.prune_op(op_id)  # terminal for participant
+                else:
+                    finish_decides.append(
+                        (op_id, result_rec, RecordType.COMMIT.value in types)
+                    )
+                continue
+            # Result only: redo and re-register as pending.
+            pend, ev = self._redo(op_id, result_rec)
+            if ev is not None:
+                redo_events.append(ev)
+            if is_coord:
+                resumed.append(pend)
+
+        self.last_resumed_ops = len(resumed) + len(finish_decides)
+
+        # Redo writes go to the store conservatively (one transaction
+        # per operation): the paper's recovery "submit[s] metadata
+        # objects to BDB", which is what dominates large-footprint
+        # recoveries (Table V).
+        if redo_events:
+            yield sim.all_of(redo_events)
+
+        # 4. Finish half-decided commitments (resend the decision).
+        for op_id, result_rec, committed in finish_decides:
+            yield from self._finish_decide(op_id, result_rec, committed)
+
+        # 5. Commit everything that was still pending, in bounded
+        #    batches (a crash with a huge valid-record footprint must
+        #    not turn into one unbounded commitment burst).
+        chunk_size = max(1, role.params.recovery_commit_batch)
+        for start in range(0, len(resumed), chunk_size):
+            chunk = resumed[start:start + chunk_size]
+            done_events = []
+            for pend in chunk:
+                ev = sim.event()
+                pend.waiters.append(ev)
+                done_events.append(ev)
+            role.commit_mgr.launch_ops(chunk, "recovery")
+            yield sim.all_of(done_events)
+
+        # 6. Write back the store, resume the file system.
+        flush = server.kv.flush()
+        if flush is not None:
+            yield flush
+        acks = [
+            server.request(s.node_id, MessageKind.RECOVERY_END, {})
+            for s in peers
+        ]
+        if acks:
+            yield sim.all_of(acks)
+        server.unquiesce()
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _redo(self, op_id: OpId, result_rec: LogRecord) -> PendingOp:
+        """Rebuild a pending op from its Result-Record (redo updates)."""
+        role = self.role
+        payload = result_rec.payload
+        subop = payload["subop"]
+        ok = payload["ok"]
+
+        from repro.core.active import conflict_keys
+        from repro.fs.namespace import ExecResult
+
+        res = ExecResult(
+            ok=ok,
+            errno=payload["errno"],
+            updates=list(payload["updates"]),
+            undo=list(payload["undo"]),
+        )
+        keys = conflict_keys(subop)
+        redo_event = None
+        if ok:
+            # Conservative redo: write-through, one txn per operation.
+            events = role.server.shard.apply_sync(res.updates)
+            redo_event = events[0] if events else None
+            if subop.role in ("coord", "part"):
+                role.active.register(op_id, keys)
+        pend = PendingOp(
+            op_id=op_id,
+            subop=subop,
+            role=subop.role,
+            other_server=payload["other_server"],
+            result=res,
+            record=result_rec,
+            keys=keys if (ok and subop.role in ("coord", "part")) else [],
+            state=PendingState.EXECUTED,
+        )
+        role.pending[op_id] = pend
+        if subop.role in ("coord", "single"):
+            role.commit_mgr.lazy[op_id] = pend
+        else:
+            # A coordinator's commitment may already be waiting on this
+            # op's vote (it retried while we were down).
+            role.participant.fulfill_vote_waiters(op_id)
+        return pend, redo_event
+
+    def _finish_decide(
+        self, op_id: OpId, result_rec: LogRecord, committed: bool
+    ) -> Generator:
+        """Coordinator crashed between its decision and Complete: the
+        participant may not have heard — resend the decision."""
+        role = self.role
+        server = role.server
+        other = result_rec.payload["other_server"]
+        if other is not None:
+            ack = yield server.request(
+                role.cluster.server_id(other),
+                MessageKind.COMMIT_REQ,
+                {"decisions": {op_id: committed}},
+            )
+            assert ack.kind is MessageKind.ACK
+        yield server.wal.append(
+            LogRecord(op_id, RecordType.COMPLETE.value, size=role.params.log_record_size),
+            urgent=True,
+        )
+        server.wal.prune_op(op_id)
+        role.completed[op_id] = {
+            "committed": committed,
+            "errno": result_rec.payload["errno"],
+        }

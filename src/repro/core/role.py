@@ -1,0 +1,325 @@
+"""Cx server role: the execution phase and message dispatch.
+
+Implements steps 1–2 of the paper's basic protocol (§III.B) and the
+conflict-detection half of §III.C:
+
+* execute the assigned sub-op **immediately and concurrently** with the
+  peer server, write a Result-Record, and answer the client YES/NO
+  without waiting for any commitment;
+* if the sub-op touches an *active object* of a pending operation,
+  block it behind that operation and get an immediate commitment
+  launched (locally when we coordinate the pending op, via L-COM when
+  we are its participant);
+* attach conflict hints (and the completion-rule extensions of
+  :mod:`repro.core.hints`) to every response.
+
+The commitment phase lives in :mod:`repro.core.coordinator` /
+:mod:`repro.core.participant`; recovery in :mod:`repro.core.recovery`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Generator, Optional, Set
+
+from repro.core.active import ActiveObjectTable, conflict_keys, hint_covers_other
+from repro.core.coordinator import CommitManager
+from repro.core.hints import ResponseHint
+from repro.core.participant import ParticipantHalf
+from repro.core.records import PendingOp, PendingState, make_result_record
+from repro.core.recovery import CxRecovery
+from repro.core.triggers import CommitTriggers
+from repro.net.message import Message, MessageKind
+from repro.protocols.base import ServerRole
+from repro.storage.wal import OpId
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.builder import Cluster
+    from repro.cluster.server import MetadataServer
+
+
+class CxRole(ServerRole):
+    """One server's Cx state machine."""
+
+    def __init__(self, server: "MetadataServer", cluster: "Cluster") -> None:
+        super().__init__(server, cluster)
+        #: Executed-but-uncommitted operations known to this server.
+        self.pending: Dict[OpId, PendingOp] = {}
+        #: Resolved operations: op_id -> {"committed": bool, "errno": ...}.
+        self.completed: Dict[OpId, dict] = {}
+        self.active = ActiveObjectTable()
+        self.commit_mgr = CommitManager(self)
+        self.participant = ParticipantHalf(self)
+        self.recovery = CxRecovery(self)
+        self.triggers = CommitTriggers(
+            self.sim,
+            launch=self.commit_mgr.launch_all,
+            timeout=self.params.commit_timeout,
+            threshold=self.params.commit_threshold,
+        )
+        #: Op ids currently blocked on this server (duplicate-REQ guard).
+        self._blocked_ops: Set[OpId] = set()
+        server.wal.on_full = self._on_log_full
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        self.triggers.start()
+        self.server.wal.on_full = self._on_log_full
+
+    def flush_now(self) -> None:
+        self.commit_mgr.launch_all("flush-now")
+
+    def on_crash(self) -> None:
+        self.triggers.stop()
+        self.pending.clear()
+        self.completed.clear()
+        self.active.clear()
+        self._blocked_ops.clear()
+        self.commit_mgr.on_crash()
+        self.participant.on_crash()
+
+    # -- dispatch -----------------------------------------------------------------
+
+    def handle(self, msg: Message) -> Generator:
+        kind = msg.kind
+        if kind is MessageKind.REQ:
+            yield from self._handle_req(msg)
+        elif kind is MessageKind.VOTE:
+            yield from self.participant.handle_vote(msg)
+        elif kind is MessageKind.COMMIT_REQ:
+            yield from self.participant.handle_decide(msg)
+        elif kind is MessageKind.L_COM:
+            self._handle_lcom(msg)
+        elif kind is MessageKind.RECOVERY_BEGIN:
+            self.server.quiesce()
+            self.server.send_reply(msg, MessageKind.ACK, {})
+        elif kind is MessageKind.RECOVERY_END:
+            self.server.unquiesce()
+            self.server.send_reply(msg, MessageKind.ACK, {})
+        else:  # pragma: no cover - protocol error
+            raise ValueError(f"Cx server got unexpected {kind}")
+
+    # -- execution phase --------------------------------------------------------------
+
+    def _handle_req(self, msg: Message) -> Generator:
+        subop = msg.payload["subop"]
+        op_id = subop.op_id
+
+        # Duplicate REQs (client retry after a crash) are answered from
+        # the pending/completed tables, never re-executed.
+        if self._resend_duplicate(msg, subop):
+            return
+
+        keys = conflict_keys(subop)
+        # A process's own accesses to its pending objects are no
+        # conflict: its operations are synchronous, so it already knows
+        # their outcomes (paper §III.B's design principle).  Only other
+        # processes' pending operations block us.
+        owner = (op_id[0], op_id[1])
+
+        def foreign_holders():
+            return [
+                h
+                for h in self.active.holders_of(keys)
+                if (h[0], h[1]) != owner and h != op_id
+            ]
+
+        foreign = foreign_holders()
+        # Disordered conflict, vote-first interleaving: if a commitment
+        # VOTE for this very op is already waiting here, the coordinator
+        # has ordered it before whatever executed-but-uncommitted op is
+        # holding its objects — invalidate the holder(s) and proceed
+        # (paper Fig. 3(b) step 4).
+        while foreign and self.participant.has_vote_waiter(op_id):
+            holder_pend = self.pending.get(foreign[-1])
+            if holder_pend is None or holder_pend.state is not PendingState.EXECUTED:
+                break
+            self.participant.invalidate(holder_pend)
+            foreign = foreign_holders()
+
+        if foreign:
+            # Conflict: block this sub-op behind the newest pending
+            # operation and get every holder committed immediately.
+            self._blocked_ops.add(op_id)
+            msg.payload["conflicted"] = True
+            self.active.block(foreign[-1], msg)
+            for holder in foreign:
+                self.commit_mgr.request_immediate(holder)
+            return
+
+        if subop.is_readonly:
+            res = yield from self.execute_readonly(subop)
+            self.server.send(
+                msg.src,
+                MessageKind.YES if res.ok else MessageKind.NO,
+                {
+                    "op_id": op_id,
+                    "role": subop.role,
+                    "ok": res.ok,
+                    "errno": res.errno,
+                    "value": res.value,
+                    "conflicted": msg.payload.get("conflicted", False),
+                },
+            )
+            return
+
+        yield from self.execute_now(msg)
+
+    def _resend_duplicate(self, msg: Message, subop) -> bool:
+        op_id = subop.op_id
+        pend = self.pending.get(op_id)
+        if pend is not None and pend.subop.role == subop.role:
+            if pend.last_response is not None:
+                kind, payload = pend.last_response
+                self.server.send(msg.src, kind, dict(payload))
+            return True
+        if op_id in self.completed and not subop.is_readonly:
+            done = self.completed[op_id]
+            ok = done["committed"] and done["errno"] is None
+            self.server.send(
+                msg.src,
+                MessageKind.YES if ok else MessageKind.NO,
+                {
+                    "op_id": op_id,
+                    "role": subop.role,
+                    "ok": ok,
+                    "errno": done["errno"],
+                    "conflicted": False,
+                    "hint": None,
+                    "hint_covers_other": False,
+                    "saw_commits": (),
+                },
+            )
+            return True
+        if op_id in self._blocked_ops:
+            return True  # already queued behind a commitment; drop the dup
+        return False
+
+    def execute_now(self, msg: Message) -> Generator:
+        """Execute an update sub-op: steps 1–2 of the basic protocol.
+
+        Also used inline by the participant's disordered-conflict path.
+        Returns the new :class:`PendingOp`.
+        """
+        subop = msg.payload["subop"]
+        op_id = subop.op_id
+        self._blocked_ops.discard(op_id)
+        keys = conflict_keys(subop)
+        cross = subop.role in ("coord", "part")
+
+        # Acquire the conflict footprint *before* any yield: requests
+        # dispatched while this execution is mid-flight must see the
+        # objects as active (otherwise an invalidation's requeued victim
+        # could race past the op that displaced it).
+        if cross:
+            self.active.register(op_id, keys)
+
+        yield self.sim.timeout(self.params.cpu_subop)
+        res = self.server.shard.execute(subop, self.sim.now)
+
+        if res.ok:
+            self.server.shard.apply_deferred(res.updates)
+        elif cross:
+            # Failed executions modify nothing: nothing stays active.
+            released = self.active.release(op_id, committed=False)
+            self.reinject_blocked(released, ordered_after=None)
+
+        record = make_result_record(
+            op_id,
+            subop,
+            res,
+            msg.payload.get("other_server"),
+            self.params.log_record_size,
+        )
+        # The pending entry must exist before we block on the log write:
+        # a conflicting request arriving in that window must find the
+        # holder's state, not a dangling active key.
+        pend = PendingOp(
+            op_id=op_id,
+            subop=subop,
+            role=subop.role,
+            other_server=msg.payload.get("other_server"),
+            result=res,
+            record=record,
+            keys=keys if (res.ok and cross) else [],
+            hint=msg.payload.get("ordered_after"),
+            req_msg=msg,
+        )
+        self.pending[op_id] = pend
+        self.commit_mgr.adopt_pre_request(pend)
+        # Durable Result-Record before the response; this append blocks
+        # when the log is full (Fig. 7(a)'s effect).
+        yield self.server.wal.append(record)
+
+        hint_block = ResponseHint(
+            hint=pend.hint,
+            hint_covers_other=msg.payload.get("ordered_after_covers", False),
+            saw_commits=tuple(self.active.saw_commits(keys)),
+        )
+        payload = {
+            "op_id": op_id,
+            "role": subop.role,
+            "ok": res.ok,
+            "errno": res.errno,
+            "conflicted": msg.payload.get("conflicted", False),
+            **hint_block.to_payload(),
+        }
+        kind = MessageKind.YES if res.ok else MessageKind.NO
+        pend.last_response = (kind, payload)
+        self.server.send(msg.src, kind, payload)
+
+        # Post-execution hooks: deferred votes and the lazy queue.
+        self.participant.fulfill_vote_waiters(op_id)
+        if subop.role in ("coord", "single"):
+            self.commit_mgr.enqueue(pend)
+        elif pend.immediate_requested:
+            # A conflict piled up behind us while we were executing; as
+            # a participant we can only ask our coordinator (L-COM).
+            self.commit_mgr.request_immediate(op_id)
+        return pend
+
+    # -- conflict plumbing ---------------------------------------------------------
+
+    def reinject_blocked(self, msgs, ordered_after: Optional[PendingOp]) -> None:
+        """Requeue blocked sub-op requests as fresh arrivals.
+
+        ``ordered_after`` is the just-resolved pending op: released
+        requests will execute with hint [that op] (paper Fig. 3); after
+        an *invalidation* the holder was not resolved, so the hint
+        annotation is cleared instead.
+        """
+        for msg in msgs:
+            if ordered_after is not None:
+                msg.payload["ordered_after"] = ordered_after.op_id
+                msg.payload["ordered_after_covers"] = hint_covers_other(
+                    msg.payload["subop"],
+                    msg.payload.get("other_server"),
+                    ordered_after.subop,
+                    ordered_after.other_server,
+                )
+            else:
+                msg.payload.pop("ordered_after", None)
+                msg.payload.pop("ordered_after_covers", None)
+            self._blocked_ops.discard(msg.payload["subop"].op_id)
+            self.server.inbox.put(msg)
+
+    def _handle_lcom(self, msg: Message) -> None:
+        """L-COM: a client (disagreement) or a peer server (conflict at
+        the participant) asks us to launch an immediate commitment."""
+        op_id = msg.payload["op"]
+        all_no_dst = msg.src if msg.payload.get("want_all_no") else None
+        self.commit_mgr.request_immediate(op_id, all_no_dst=all_no_dst)
+
+    def _on_log_full(self) -> None:
+        """Log at capacity: urgently commit to prune (paper §III.D)."""
+        self.commit_mgr.launch_all("log-full")
+        # Participant-role pendings can only be pruned by their
+        # coordinators — ask them.
+        for pend in list(self.pending.values()):
+            if pend.role == "part" and pend.state is PendingState.EXECUTED:
+                self.commit_mgr.request_immediate(pend.op_id)
+
+    # -- recovery entry point -------------------------------------------------------
+
+    def recover(self) -> Generator:
+        yield from self.recovery.run()

@@ -1,0 +1,72 @@
+"""Batched-commitment triggers (paper §IV.A).
+
+"The permitted lazy commitments are batched and launched by triggers.
+Our implementation currently supports two types of triggers:
+(1) Timeout trigger, (2) Threshold trigger."
+
+The timeout trigger fires periodically; the threshold trigger fires
+when the number of pending operations since the last commitment crosses
+a limit.  Both can be armed at once; either may be disabled (None).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.sim import Interrupt, Process, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+class CommitTriggers:
+    """Drives ``launch`` according to the configured triggers."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        launch: Callable[[str], None],
+        timeout: Optional[float],
+        threshold: Optional[int],
+    ) -> None:
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout trigger must be positive")
+        if threshold is not None and threshold < 1:
+            raise ValueError("threshold trigger must be >= 1")
+        self.sim = sim
+        self.launch = launch
+        self.timeout = timeout
+        self.threshold = threshold
+        self.timeout_fires = 0
+        self.threshold_fires = 0
+        self._timer: Optional[Process] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self.timeout is not None and (
+            self._timer is None or self._timer.triggered
+        ):
+            self._timer = self.sim.process(self._timer_loop())
+
+    def stop(self) -> None:
+        if self._timer is not None and self._timer.is_alive:
+            self._timer.interrupt("stop")
+        self._timer = None
+
+    def _timer_loop(self):
+        try:
+            while True:
+                yield self.sim.timeout(self.timeout)
+                self.timeout_fires += 1
+                self.launch("timeout")
+        except Interrupt:
+            return
+
+    # -- threshold ---------------------------------------------------------------
+
+    def notify_pending(self, pending_count: int) -> None:
+        """Called after each execution with the current pending count."""
+        if self.threshold is not None and pending_count >= self.threshold:
+            self.threshold_fires += 1
+            self.launch("threshold")

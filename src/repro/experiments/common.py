@@ -1,0 +1,108 @@
+"""Shared experiment configuration.
+
+**Scaling.**  The paper replays the full traces (0.4M–11M operations)
+on real hardware for minutes.  The reproduction replays a fixed
+fraction of each trace (``TRACE_SCALES``, ~10k operations each) and
+scales the lazy-commitment timeout with it (``EXPERIMENT_TIMEOUT``
+instead of the paper's 10 s) so the *ratio* of batch window to replay
+length — which controls both batching amortization and the steady-state
+conflict probability — matches the paper's regime.  Absolute times are
+therefore not comparable to the paper; every experiment reports
+relative numbers, like the paper's figures do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.builder import Cluster
+from repro.params import SimParams
+from repro.protocols import get_protocol
+from repro.workloads import (
+    TRACE_SPECS,
+    ReplayResult,
+    TraceWorkload,
+    replay_streams,
+)
+
+#: Default replay configuration for the trace-driven experiments
+#: (Figure 5, Table II, Table IV, and the home2 sensitivity studies):
+#: 8 servers with 32 load-generating client processes — matching the
+#: paper's "number of load-generating clients is four times of that of
+#: servers" at 8 servers (we host them as 4 machines x 8 processes).
+NUM_SERVERS = 8
+NUM_CLIENTS = 4
+PROCS_PER_CLIENT = 8
+
+#: Lazy-commitment timeout used in scaled replays (see module docstring).
+EXPERIMENT_TIMEOUT = 0.25
+
+#: Per-trace replay scale, chosen so every replay is ~10k operations.
+TRACE_SCALES: Dict[str, float] = {
+    "CTH": 0.020,
+    "s3d": 0.014,
+    "alegra": 0.025,
+    "home2": 0.0037,
+    "deasna2": 0.0026,
+    "lair62b": 0.0009,
+}
+
+#: The three systems Figure 5 / Table IV compare.
+FIG5_SYSTEMS = ("ofs", "ofs-batched", "cx")
+
+
+def experiment_params(**overrides) -> SimParams:
+    defaults = dict(commit_timeout=EXPERIMENT_TIMEOUT)
+    defaults.update(overrides)
+    return SimParams(**defaults)
+
+
+def build_trace_cluster(
+    protocol_name: str,
+    params: Optional[SimParams] = None,
+    num_servers: int = NUM_SERVERS,
+    seed: int = 0,
+) -> Cluster:
+    return Cluster.build(
+        num_servers=num_servers,
+        num_clients=NUM_CLIENTS,
+        protocol=get_protocol(protocol_name),
+        params=params or experiment_params(),
+        procs_per_client=PROCS_PER_CLIENT,
+        seed=seed,
+    )
+
+
+def run_trace_protocol(
+    trace: str,
+    protocol_name: str,
+    params: Optional[SimParams] = None,
+    num_servers: int = NUM_SERVERS,
+    scale: Optional[float] = None,
+    seed: int = 0,
+) -> ReplayResult:
+    """Replay one trace under one protocol at the canonical config."""
+    cluster = build_trace_cluster(
+        protocol_name, params=params, num_servers=num_servers, seed=seed
+    )
+    workload = TraceWorkload(
+        TRACE_SPECS[trace],
+        scale=scale if scale is not None else TRACE_SCALES[trace],
+        seed=seed,
+    )
+    streams = workload.build(cluster, cluster.all_processes())
+    return replay_streams(cluster, streams)
+
+
+@dataclass
+class ExperimentResult:
+    """Generic result: an id, rendered text, and raw row data."""
+
+    experiment: str
+    text: str
+    rows: List[dict] = field(default_factory=list)
+    notes: str = ""
+
+    def __str__(self) -> str:
+        return self.text

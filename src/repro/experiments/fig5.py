@@ -1,0 +1,52 @@
+"""Figure 5 — trace-driven evaluation: OFS vs OFS-batched vs OFS-Cx.
+
+Replays every trace under the three systems at the canonical scaled
+configuration and reports replay times normalized to OFS.  The paper's
+headline claims, checked by the benchmark: OFS-Cx improves replay time
+by >= 38% on every trace (>50% on s3d, ~38-45% on CTH), OFS-batched by
+>= 15%, and OFS-Cx beats OFS-batched by >= 16%.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.experiments.common import (
+    ExperimentResult,
+    FIG5_SYSTEMS,
+    run_trace_protocol,
+)
+from repro.workloads import TRACE_SPECS
+
+
+def run_fig5(traces=None, num_servers: int = 8, seed: int = 0) -> ExperimentResult:
+    traces = traces or list(TRACE_SPECS)
+    rows = []
+    for trace in traces:
+        res = {
+            name: run_trace_protocol(trace, name, num_servers=num_servers, seed=seed)
+            for name in FIG5_SYSTEMS
+        }
+        t = {k: v.replay_time for k, v in res.items()}
+        rows.append(
+            {
+                "trace": trace,
+                "ofs_time": t["ofs"],
+                "batched_time": t["ofs-batched"],
+                "cx_time": t["cx"],
+                "batched_vs_ofs": 1 - t["ofs-batched"] / t["ofs"],
+                "cx_vs_ofs": 1 - t["cx"] / t["ofs"],
+                "cx_vs_batched": 1 - t["cx"] / t["ofs-batched"],
+                "messages": {k: v.messages for k, v in res.items()},
+                "conflict_ratio": res["cx"].conflict_ratio,
+            }
+        )
+    text = render_table(
+        ["Trace", "OFS (s)", "OFS-batched (s)", "OFS-Cx (s)",
+         "batched gain", "Cx gain", "Cx vs batched"],
+        [[r["trace"], f"{r['ofs_time']:.3f}", f"{r['batched_time']:.3f}",
+          f"{r['cx_time']:.3f}", f"{r['batched_vs_ofs']:.1%}",
+          f"{r['cx_vs_ofs']:.1%}", f"{r['cx_vs_batched']:.1%}"] for r in rows],
+        title=f"Figure 5 — trace replay time, {num_servers} servers "
+              "(paper: Cx gain >= 38%, s3d > 50%; batched >= 15%)",
+    )
+    return ExperimentResult("fig5", text, rows)

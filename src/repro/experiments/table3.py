@@ -1,0 +1,20 @@
+"""Table III — the Cx message taxonomy, regenerated from the codebase."""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.experiments.common import ExperimentResult
+from repro.net.message import PROTOCOL_MESSAGE_TABLE
+
+
+def run_table3() -> ExperimentResult:
+    rows = [
+        {"message": kind.value, "signification": sig, "src": src, "dst": dst}
+        for kind, (sig, src, dst) in PROTOCOL_MESSAGE_TABLE.items()
+    ]
+    text = render_table(
+        ["Message", "Signification", "Src", "Dest"],
+        [[r["message"], r["signification"], r["src"], r["dst"]] for r in rows],
+        title="Table III — message representations",
+    )
+    return ExperimentResult("table3", text, rows)

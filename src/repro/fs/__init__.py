@@ -1,0 +1,57 @@
+"""Distributed file-system metadata substrate.
+
+Models the metadata half of OrangeFS: inodes and directory entries
+sharded over metadata servers, with directory entries placed by name
+hash and inodes placed randomly (so a file's dirent and inode usually
+live on different servers — the *cross-server* case the paper is
+about).
+"""
+
+from repro.fs.errors import (
+    FsError,
+    ErrEexist,
+    ErrEnoent,
+    ErrEnotdir,
+    ErrEisdir,
+    ErrEnotempty,
+    ErrStale,
+)
+from repro.fs.objects import DirEntry, FileType, Inode, dirent_key, inode_key
+from repro.fs.ops import (
+    FileOperation,
+    OpPlan,
+    OpType,
+    SubOp,
+    SubOpAction,
+    READONLY_OPS,
+    UPDATE_OPS,
+    split_operation,
+)
+from repro.fs.placement import PlacementPolicy
+from repro.fs.namespace import ExecResult, NamespaceShard
+
+__all__ = [
+    "DirEntry",
+    "ErrEexist",
+    "ErrEisdir",
+    "ErrEnoent",
+    "ErrEnotdir",
+    "ErrEnotempty",
+    "ErrStale",
+    "ExecResult",
+    "FileOperation",
+    "FileType",
+    "FsError",
+    "Inode",
+    "NamespaceShard",
+    "OpPlan",
+    "OpType",
+    "PlacementPolicy",
+    "READONLY_OPS",
+    "SubOp",
+    "SubOpAction",
+    "UPDATE_OPS",
+    "dirent_key",
+    "inode_key",
+    "split_operation",
+]

@@ -1,0 +1,43 @@
+"""File-system error model (POSIX-ish errno strings).
+
+Sub-operation failures are *values*, not exceptions, inside the
+protocols — a server that fails to execute a sub-op answers "NO" with
+an errno; only programming errors raise.
+"""
+
+from __future__ import annotations
+
+
+class FsError(Exception):
+    """Base class; ``errno`` is the wire-visible error string."""
+
+    errno = "EIO"
+
+    def __str__(self) -> str:
+        return f"{self.errno}: {', '.join(map(str, self.args))}"
+
+
+class ErrEexist(FsError):
+    errno = "EEXIST"
+
+
+class ErrEnoent(FsError):
+    errno = "ENOENT"
+
+
+class ErrEnotdir(FsError):
+    errno = "ENOTDIR"
+
+
+class ErrEisdir(FsError):
+    errno = "EISDIR"
+
+
+class ErrEnotempty(FsError):
+    errno = "ENOTEMPTY"
+
+
+class ErrStale(FsError):
+    """Object vanished between lookup and operation."""
+
+    errno = "ESTALE"

@@ -1,0 +1,73 @@
+"""Metadata objects: inodes and directory entries.
+
+Objects are stored in each server's KV store under structured keys
+(``inode_key``/``dirent_key``); the same keys index the active-object
+table that Cx uses for conflict detection, so "object" means the same
+thing to the namespace, the store, and the protocol.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+#: KV key of an inode: ("i", handle)
+InodeKey = Tuple[str, int]
+#: KV key of a directory entry: ("d", parent_handle, name)
+DirentKey = Tuple[str, int, str]
+
+
+def inode_key(handle: int) -> InodeKey:
+    return ("i", handle)
+
+
+def dirent_key(parent: int, name: str) -> DirentKey:
+    return ("d", parent, name)
+
+
+class FileType(str, enum.Enum):
+    REGULAR = "regular"
+    DIRECTORY = "directory"
+
+
+@dataclass(frozen=True)
+class Inode:
+    """An immutable inode value (updates replace the whole object).
+
+    ``nlink`` follows POSIX conventions: regular files start at 1,
+    directories at 2 ("." and the parent's entry).  ``entries`` counts
+    directory entries on *this* shard (directory entries are hash-
+    distributed across servers, so each server tracks its local count;
+    the paper's "update parent inode" sub-op updates this local stub).
+    """
+
+    handle: int
+    ftype: FileType
+    nlink: int = 1
+    size: int = 0
+    entries: int = 0
+    mtime: float = 0.0
+
+    def with_nlink(self, delta: int, now: float) -> "Inode":
+        return replace(self, nlink=self.nlink + delta, mtime=now)
+
+    def with_entries(self, delta: int, now: float) -> "Inode":
+        return replace(self, entries=self.entries + delta, mtime=now)
+
+    def touched(self, now: float) -> "Inode":
+        return replace(self, mtime=now)
+
+    @property
+    def is_dir(self) -> bool:
+        return self.ftype is FileType.DIRECTORY
+
+
+@dataclass(frozen=True)
+class DirEntry:
+    """A directory entry mapping (parent dir, name) -> file handle."""
+
+    parent: int
+    name: str
+    target: int
+    is_dir: bool = False

@@ -1,0 +1,283 @@
+"""File operations and their coordinator/participant split (Table I).
+
+A :class:`FileOperation` is what a client process issues; the
+:func:`split_operation` planner turns it into at most two
+:class:`SubOp`\\ s — one for the *coordinator* (the server owning the
+directory entry) and one for the *participant* (the server owning the
+file inode) — exactly following Table I of the paper.  When both
+objects land on the same server, the planner emits a single sub-op
+whose actions are the concatenation of the two halves (the operation is
+then a plain single-server operation and needs no distributed
+commitment).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.fs.placement import PlacementPolicy
+from repro.storage.wal import OpId
+
+
+class OpType(str, enum.Enum):
+    """Metadata operation types (the paper's Table I plus read ops)."""
+
+    CREATE = "create"
+    REMOVE = "remove"
+    MKDIR = "mkdir"
+    RMDIR = "rmdir"
+    LINK = "link"
+    UNLINK = "unlink"
+    RENAME = "rename"
+    STAT = "stat"
+    LOOKUP = "lookup"
+    READDIR = "readdir"
+    SETATTR = "setattr"
+
+
+#: Operations that modify metadata.
+UPDATE_OPS = frozenset(
+    {
+        OpType.CREATE,
+        OpType.REMOVE,
+        OpType.MKDIR,
+        OpType.RMDIR,
+        OpType.LINK,
+        OpType.UNLINK,
+        OpType.RENAME,
+        OpType.SETATTR,
+    }
+)
+
+#: Read-only operations (never cross-server, never need commitment).
+READONLY_OPS = frozenset({OpType.STAT, OpType.LOOKUP, OpType.READDIR})
+
+#: Operations that may split across two servers (Table I's rows).
+CROSS_CAPABLE_OPS = frozenset(
+    {
+        OpType.CREATE,
+        OpType.REMOVE,
+        OpType.MKDIR,
+        OpType.RMDIR,
+        OpType.LINK,
+        OpType.UNLINK,
+    }
+)
+
+
+class SubOpAction(str, enum.Enum):
+    """Primitive mutations/reads a sub-op is made of.
+
+    The coordinator-side actions bundle the parent-inode update with the
+    entry mutation, matching Table I's wording ("Insert a new entry in
+    parent dir, **and update parent inode**" is one sub-op).
+    """
+
+    INSERT_ENTRY = "insert_entry"
+    REMOVE_ENTRY = "remove_entry"
+    ADD_INODE = "add_inode"
+    ADD_DIR_INODE = "add_dir_inode"
+    INC_NLINK = "inc_nlink"
+    DEC_NLINK_FREE = "dec_nlink_free"
+    FREE_DIR_INODE = "free_dir_inode"
+    WRITE_INODE = "write_inode"
+    READ_INODE = "read_inode"
+    READ_ENTRY = "read_entry"
+    READ_DIR = "read_dir"
+
+
+#: Reproduction of Table I: op type -> (coordinator actions, participant actions).
+TABLE1_SPLIT: Dict[OpType, Tuple[Tuple[SubOpAction, ...], Tuple[SubOpAction, ...]]] = {
+    OpType.CREATE: ((SubOpAction.INSERT_ENTRY,), (SubOpAction.ADD_INODE,)),
+    OpType.REMOVE: ((SubOpAction.REMOVE_ENTRY,), (SubOpAction.DEC_NLINK_FREE,)),
+    OpType.MKDIR: ((SubOpAction.INSERT_ENTRY,), (SubOpAction.ADD_DIR_INODE,)),
+    OpType.RMDIR: ((SubOpAction.REMOVE_ENTRY,), (SubOpAction.FREE_DIR_INODE,)),
+    OpType.LINK: ((SubOpAction.INSERT_ENTRY,), (SubOpAction.INC_NLINK,)),
+    OpType.UNLINK: ((SubOpAction.REMOVE_ENTRY,), (SubOpAction.DEC_NLINK_FREE,)),
+}
+
+
+@dataclass(frozen=True)
+class FileOperation:
+    """One metadata operation issued by a client process."""
+
+    op_type: OpType
+    op_id: OpId
+    #: Handle of the parent directory (entry-touching ops).
+    parent: Optional[int] = None
+    #: Entry name within the parent directory.
+    name: Optional[str] = None
+    #: Handle of the file/directory inode the operation targets.
+    target: Optional[int] = None
+    #: Rename only: destination directory handle.
+    new_parent: Optional[int] = None
+    #: Rename only: destination entry name.
+    new_name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.op_type is OpType.RENAME:
+            if None in (self.parent, self.name, self.new_parent, self.new_name):
+                raise ValueError("rename needs src and dst parent+name")
+            return
+        needs_entry = self.op_type in CROSS_CAPABLE_OPS or self.op_type in (
+            OpType.LOOKUP,
+            OpType.READDIR,
+        )
+        if needs_entry and self.parent is None:
+            raise ValueError(f"{self.op_type} needs a parent directory")
+        if self.op_type in CROSS_CAPABLE_OPS and self.name is None:
+            raise ValueError(f"{self.op_type} needs an entry name")
+        if self.op_type in (OpType.STAT, OpType.SETATTR) and self.target is None:
+            raise ValueError(f"{self.op_type} needs a target handle")
+
+
+@dataclass(frozen=True)
+class SubOp:
+    """The slice of an operation assigned to one server."""
+
+    op_id: OpId
+    op_type: OpType
+    #: "coord", "part", or "single".
+    role: str
+    #: Index of the server this sub-op runs on.
+    server: int
+    actions: Tuple[SubOpAction, ...]
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    def __hash__(self) -> int:  # args dict is never mutated after planning
+        return hash((self.op_id, self.role, self.server, self.actions))
+
+    @property
+    def is_readonly(self) -> bool:
+        return all(
+            a in (SubOpAction.READ_INODE, SubOpAction.READ_ENTRY, SubOpAction.READ_DIR)
+            for a in self.actions
+        )
+
+
+@dataclass(frozen=True)
+class OpPlan:
+    """Placement-resolved execution plan of one operation."""
+
+    op: FileOperation
+    coordinator: int
+    coord_subop: SubOp
+    participant: Optional[int] = None
+    part_subop: Optional[SubOp] = None
+    #: Renames bypass the regular cross-server protocol: every protocol
+    #: runs them as an eager two-shard transaction (the paper excludes
+    #: rename from Cx's optimization — footnote 1).
+    is_rename: bool = False
+
+    @property
+    def cross_server(self) -> bool:
+        return self.participant is not None
+
+    @property
+    def subops(self) -> Tuple[SubOp, ...]:
+        if self.part_subop is None:
+            return (self.coord_subop,)
+        return (self.coord_subop, self.part_subop)
+
+
+def _op_args(op: FileOperation) -> Dict[str, Any]:
+    return {
+        "parent": op.parent,
+        "name": op.name,
+        "target": op.target,
+        "is_dir": op.op_type in (OpType.MKDIR, OpType.RMDIR),
+    }
+
+
+def split_operation(op: FileOperation, placement: PlacementPolicy) -> OpPlan:
+    """Resolve placement and split ``op`` per Table I.
+
+    Read-only ops and setattr are single-server by construction; the
+    Table I ops become cross-server exactly when the dirent's hash
+    server differs from the inode's home server.  Renames split across
+    the source and destination entry servers and are flagged for the
+    eager fallback path.
+    """
+    args = _op_args(op)
+
+    if op.op_type is OpType.RENAME:
+        return _plan_rename(op, placement)
+
+    if op.op_type is OpType.STAT or op.op_type is OpType.SETATTR:
+        server = placement.inode_server(op.target)  # type: ignore[arg-type]
+        action = (
+            SubOpAction.READ_INODE
+            if op.op_type is OpType.STAT
+            else SubOpAction.WRITE_INODE
+        )
+        sub = SubOp(op.op_id, op.op_type, "single", server, (action,), args)
+        return OpPlan(op=op, coordinator=server, coord_subop=sub)
+
+    if op.op_type in (OpType.LOOKUP, OpType.READDIR):
+        if op.op_type is OpType.LOOKUP:
+            server = placement.dirent_server(op.parent, op.name)  # type: ignore[arg-type]
+            action = SubOpAction.READ_ENTRY
+        else:
+            # readdir touches every shard of the directory; we model its
+            # metadata cost as one read on the directory's primary shard.
+            server = placement.dirent_server(op.parent, "")  # type: ignore[arg-type]
+            action = SubOpAction.READ_DIR
+        sub = SubOp(op.op_id, op.op_type, "single", server, (action,), args)
+        return OpPlan(op=op, coordinator=server, coord_subop=sub)
+
+    coord_actions, part_actions = TABLE1_SPLIT[op.op_type]
+
+    coord_server = placement.dirent_server(op.parent, op.name)  # type: ignore[arg-type]
+    part_server = placement.inode_server(op.target)  # type: ignore[arg-type]
+
+    if coord_server == part_server:
+        sub = SubOp(
+            op.op_id,
+            op.op_type,
+            "single",
+            coord_server,
+            coord_actions + part_actions,
+            args,
+        )
+        return OpPlan(op=op, coordinator=coord_server, coord_subop=sub)
+
+    coord_sub = SubOp(op.op_id, op.op_type, "coord", coord_server, coord_actions, args)
+    part_sub = SubOp(op.op_id, op.op_type, "part", part_server, part_actions, args)
+    return OpPlan(
+        op=op,
+        coordinator=coord_server,
+        coord_subop=coord_sub,
+        participant=part_server,
+        part_subop=part_sub,
+    )
+
+
+def _plan_rename(op: FileOperation, placement: PlacementPolicy) -> OpPlan:
+    """Rename: remove the source entry, insert the destination entry.
+
+    The inode is untouched (POSIX rename preserves it), so the plan
+    spans the two entry servers.  When they coincide, the rename is a
+    single atomic local sub-op.
+    """
+    src_args = {"parent": op.parent, "name": op.name, "target": op.target,
+                "is_dir": False}
+    dst_args = {"parent": op.new_parent, "name": op.new_name,
+                "target": op.target, "is_dir": False}
+    src_server = placement.dirent_server(op.parent, op.name)  # type: ignore[arg-type]
+    dst_server = placement.dirent_server(op.new_parent, op.new_name)  # type: ignore[arg-type]
+
+    if src_server == dst_server:
+        sub = SubOp(op.op_id, OpType.RENAME, "single", src_server,
+                    (SubOpAction.REMOVE_ENTRY, SubOpAction.INSERT_ENTRY),
+                    {**src_args, "insert_args": dst_args})
+        return OpPlan(op=op, coordinator=src_server, coord_subop=sub,
+                      is_rename=True)
+
+    coord_sub = SubOp(op.op_id, OpType.RENAME, "coord", src_server,
+                      (SubOpAction.REMOVE_ENTRY,), src_args)
+    part_sub = SubOp(op.op_id, OpType.RENAME, "part", dst_server,
+                     (SubOpAction.INSERT_ENTRY,), dst_args)
+    return OpPlan(op=op, coordinator=src_server, coord_subop=coord_sub,
+                  participant=dst_server, part_subop=part_sub, is_rename=True)

@@ -1,0 +1,54 @@
+"""Metadata placement policy.
+
+OrangeFS assigns "a directory entry ... to a server based on its name
+hash value, and the file's metadata object (inode) is randomly created
+on one server in the cluster" (paper §IV.A).  We reproduce both rules
+and make the inode's server recoverable from its handle (OrangeFS
+encodes the owning server in the handle range): ``handle % num_servers``
+is the inode's server, and the allocator picks that residue class at
+creation time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from itertools import count
+from typing import Optional
+
+
+class PlacementPolicy:
+    """Deterministic dirent placement + seeded random inode placement."""
+
+    def __init__(self, num_servers: int, rng: Optional[random.Random] = None) -> None:
+        if num_servers < 1:
+            raise ValueError("need at least one server")
+        self.num_servers = num_servers
+        self.rng = rng or random.Random(0)
+        self._next_serial = count(1)
+
+    # -- directory entries -------------------------------------------------
+
+    def dirent_server(self, parent: int, name: str) -> int:
+        """Server index owning the entry ``name`` of directory ``parent``."""
+        digest = hashlib.md5(f"{parent}/{name}".encode()).digest()
+        return int.from_bytes(digest[:4], "little") % self.num_servers
+
+    # -- inodes ------------------------------------------------------------
+
+    def inode_server(self, handle: int) -> int:
+        """Server index owning an inode (encoded in the handle)."""
+        return handle % self.num_servers
+
+    def allocate_handle(self, server: Optional[int] = None) -> int:
+        """A fresh unique handle homed on ``server`` (random if None)."""
+        if server is None:
+            server = self.rng.randrange(self.num_servers)
+        elif not 0 <= server < self.num_servers:
+            raise ValueError(f"server {server} out of range")
+        serial = next(self._next_serial)
+        return serial * self.num_servers + server
+
+    def is_cross_server(self, parent: int, name: str, handle: int) -> bool:
+        """True when the dirent and the inode live on different servers."""
+        return self.dirent_server(parent, name) != self.inode_server(handle)

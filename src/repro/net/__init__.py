@@ -1,0 +1,14 @@
+"""Simulated cluster network: messages, delivery, RPC, statistics."""
+
+from repro.net.message import Message, MessageKind, PROTOCOL_MESSAGE_TABLE
+from repro.net.network import Network, Node
+from repro.net.stats import MessageStats
+
+__all__ = [
+    "Message",
+    "MessageKind",
+    "MessageStats",
+    "Network",
+    "Node",
+    "PROTOCOL_MESSAGE_TABLE",
+]

@@ -1,0 +1,113 @@
+"""Message taxonomy.
+
+The protocol-level message kinds reproduce Table III of the paper plus
+the request/response kinds shared by all protocols (2PC, SE, CE, Cx).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any, Dict, Optional
+
+
+class MessageKind(str, enum.Enum):
+    """Every message kind that can cross the simulated wire."""
+
+    # ---- client <-> server: generic request/response ------------------
+    #: A sub-operation (or whole-operation) request from a client.
+    REQ = "REQ"
+    #: The matching response.
+    RESP = "RESP"
+
+    # ---- Table III of the paper (Cx / 2PC commitment traffic) ---------
+    #: Coordinator queries the participant's sub-op results.
+    VOTE = "VOTE"
+    #: Execution succeeded (server -> process, or participant -> coord).
+    YES = "YES"
+    #: Execution failed.
+    NO = "NO"
+    #: Coordinator asks the participant to commit.
+    COMMIT_REQ = "COMMIT-REQ"
+    #: Coordinator asks the participant to abort.
+    ABORT_REQ = "ABORT-REQ"
+    #: Participant confirms completion of a commitment.
+    ACK = "ACK"
+    #: Process asks the coordinator to launch an immediate commitment.
+    L_COM = "L-COM"
+    #: Coordinator tells the process every sub-op has been aborted.
+    ALL_NO = "ALL-NO"
+
+    # ---- SE baseline -----------------------------------------------------
+    #: Client withdraws an already-executed sub-op after a later failure.
+    CLEAR = "CLEAR"
+
+    # ---- CE baseline -----------------------------------------------------
+    #: Object migration between servers (Ursa-Minor style).
+    MIGRATE = "MIGRATE"
+    #: Migrated objects returned to their home server.
+    MIGRATE_BACK = "MIGRATE-BACK"
+
+    # ---- rename transaction (eager fallback, all protocols) ---------------
+    #: Coordinator asks the destination server to apply the new entry.
+    RENAME_PREP = "RENAME-PREP"
+    #: Coordinator finalizes (commit/abort) the rename at the peer.
+    RENAME_DECIDE = "RENAME-DECIDE"
+
+    # ---- failure detection -------------------------------------------------
+    #: Failure-detector heartbeat probe (excluded from protocol stats).
+    PING = "PING"
+    #: Heartbeat response.
+    PONG = "PONG"
+
+    # ---- recovery --------------------------------------------------------
+    #: Rebooted server tells peers to enter the recovery state.
+    RECOVERY_BEGIN = "RECOVERY-BEGIN"
+    #: Recovery finished; normal service resumes.
+    RECOVERY_END = "RECOVERY-END"
+
+
+#: Reproduction of the paper's Table III: message -> (signification, src, dst).
+PROTOCOL_MESSAGE_TABLE: Dict[MessageKind, tuple[str, str, str]] = {
+    MessageKind.VOTE: ("Queries the sub-ops' results", "Coor", "Parti"),
+    MessageKind.YES: ("Indicates the execution results of a sub-op", "Coor/Parti", "Pro/Coor"),
+    MessageKind.NO: ("Indicates the execution results of a sub-op", "Coor/Parti", "Pro/Coor"),
+    MessageKind.COMMIT_REQ: ("Asks to commit the sub-ops' execution", "Coor", "Parti"),
+    MessageKind.ABORT_REQ: ("Asks to abort the sub-ops' execution", "Coor", "Parti"),
+    MessageKind.ACK: ("Asks to complete a operation", "Parti", "Coor"),
+    MessageKind.L_COM: ("Asks to launch a commitment", "Pro", "Coor"),
+    MessageKind.ALL_NO: ("Denotes all executions of sub-ops have been aborted", "Coor", "Pro"),
+}
+
+_msg_ids = count(1)
+
+
+@dataclass
+class Message:
+    """One message on the simulated wire.
+
+    ``payload`` is an arbitrary dict owned by the protocol layer;
+    ``reply_to`` links a response to the msg_id of its request, which is
+    how the RPC helper matches them up.
+    """
+
+    kind: MessageKind
+    src: str
+    dst: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    size: int = 200
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    reply_to: Optional[int] = None
+
+    def reply(self, kind: MessageKind, payload: Optional[Dict[str, Any]] = None,
+              size: int = 200) -> "Message":
+        """Build the response message for this request."""
+        return Message(
+            kind=kind,
+            src=self.dst,
+            dst=self.src,
+            payload=payload or {},
+            size=size,
+            reply_to=self.msg_id,
+        )

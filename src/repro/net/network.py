@@ -1,0 +1,179 @@
+"""Network fabric and node endpoints.
+
+The network is a full bisection switch (the paper's Catalyst 10 GigE):
+every message is delivered after ``latency + size * byte_time``,
+independent of other traffic.  Congestion is deliberately not modeled —
+the paper's effects are driven by protocol round-trip *counts* and
+storage costs, not by link saturation (metadata messages are tiny).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from repro.net.message import Message, MessageKind
+from repro.net.stats import MessageStats
+from repro.params import SimParams
+from repro.sim import Event, Simulator, Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+class UnknownNode(KeyError):
+    """Message addressed to a node id that was never registered."""
+
+
+class Network:
+    """Registry of nodes plus the delivery mechanism."""
+
+    def __init__(self, sim: Simulator, params: SimParams) -> None:
+        self.sim = sim
+        self.params = params
+        self.nodes: Dict[str, "Node"] = {}
+        self.stats = MessageStats()
+
+    def register(self, node: "Node") -> None:
+        if node.node_id in self.nodes:
+            raise ValueError(f"duplicate node id {node.node_id!r}")
+        self.nodes[node.node_id] = node
+
+    def delay_for(self, msg: Message) -> float:
+        return self.params.net_latency + msg.size * self.params.net_byte_time
+
+    def send(self, msg: Message) -> None:
+        """Put ``msg`` on the wire; it arrives after the modeled delay.
+
+        Delivery to a crashed node drops the message; if the sender has
+        an RPC waiting on it, that RPC fails with ConnectionError (the
+        transport's connection-reset), so callers can react instead of
+        hanging.
+        """
+        dst = self.nodes.get(msg.dst)
+        if dst is None:
+            raise UnknownNode(msg.dst)
+        self.stats.record(msg)
+
+        def _deliver(_ev: Event) -> None:
+            if dst.crashed:
+                src = self.nodes.get(msg.src)
+                if src is not None:
+                    waiter = src._pending_rpcs.pop(msg.msg_id, None)
+                    if waiter is not None and not waiter.triggered:
+                        waiter.fail(ConnectionError(f"{msg.dst} is down"))
+                return
+            dst.deliver(msg)
+
+        ev = Event(self.sim)
+        ev.callbacks.append(_deliver)  # type: ignore[union-attr]
+        ev.succeed(delay=self.delay_for(msg))
+
+
+class Node:
+    """A network endpoint: a metadata server or a client machine.
+
+    Incoming messages are routed two ways:
+
+    * responses (``reply_to`` set) complete the matching RPC event;
+    * everything else lands in :attr:`inbox` for the node's service loop.
+
+    ``crashed`` nodes drop all traffic, modeling a killed process.
+    """
+
+    def __init__(self, sim: Simulator, network: Network, node_id: str) -> None:
+        self.sim = sim
+        self.network = network
+        self.node_id = node_id
+        self.inbox: Store = Store(sim)
+        self.crashed = False
+        self._pending_rpcs: Dict[int, Event] = {}
+        network.register(self)
+
+    # -- receiving -------------------------------------------------------
+
+    def deliver(self, msg: Message) -> None:
+        if self.crashed:
+            return
+        if msg.reply_to is not None:
+            waiter = self._pending_rpcs.pop(msg.reply_to, None)
+            if waiter is not None and not waiter.triggered:
+                waiter.succeed(msg)
+                return
+            # Fall through: a reply nobody waits for (e.g. the waiter
+            # timed out or the node rebooted) is treated as unsolicited.
+        self.inbox.put(msg)
+
+    # -- sending ---------------------------------------------------------
+
+    def send(
+        self,
+        dst: str,
+        kind: MessageKind,
+        payload: Optional[Dict[str, Any]] = None,
+        size: Optional[int] = None,
+    ) -> Message:
+        """Fire-and-forget send; returns the message (for its msg_id)."""
+        msg = Message(
+            kind=kind,
+            src=self.node_id,
+            dst=dst,
+            payload=payload or {},
+            size=size if size is not None else self.network.params.msg_base_size,
+        )
+        self.network.send(msg)
+        return msg
+
+    def send_reply(
+        self,
+        request: Message,
+        kind: MessageKind,
+        payload: Optional[Dict[str, Any]] = None,
+        size: Optional[int] = None,
+    ) -> Message:
+        """Respond to ``request``."""
+        msg = request.reply(
+            kind,
+            payload,
+            size=size if size is not None else self.network.params.msg_base_size,
+        )
+        self.network.send(msg)
+        return msg
+
+    def request(
+        self,
+        dst: str,
+        kind: MessageKind,
+        payload: Optional[Dict[str, Any]] = None,
+        size: Optional[int] = None,
+    ) -> Event:
+        """RPC helper: send a request, get an event for the response.
+
+        The event succeeds with the response :class:`Message`.  It never
+        times out on its own — the simulated network does not lose
+        messages; loss only happens through node crashes, which the
+        failure-injection layer resolves by failing pending RPC events
+        (see ``fail_pending_rpcs``).
+        """
+        msg = self.send(dst, kind, payload, size)
+        ev = Event(self.sim)
+        self._pending_rpcs[msg.msg_id] = ev
+        return ev
+
+    def fail_pending_rpcs(self, exc: BaseException) -> None:
+        """Fail all in-flight RPCs (used when a peer crash is detected)."""
+        pending = list(self._pending_rpcs.values())
+        self._pending_rpcs.clear()
+        for ev in pending:
+            if not ev.triggered:
+                ev.fail(exc)
+
+    # -- crash / reboot ----------------------------------------------------
+
+    def crash(self) -> None:
+        self.crashed = True
+        self.inbox.close()
+        self.fail_pending_rpcs(ConnectionError(f"{self.node_id} crashed"))
+
+    def reboot(self) -> None:
+        self.crashed = False
+        self.inbox.reopen()

@@ -1,0 +1,55 @@
+"""Cross-server operation protocols: the paper's baselines and Cx.
+
+=================  ====================================================
+Protocol           Paper reference
+=================  ====================================================
+``TwoPCProtocol``  Fig. 1(a) — Slice / IFS / Farsite / DCFS
+``SerialProtocol`` Fig. 1(b) — PVFS2 / OrangeFS ("OFS" baseline)
+``SerialBatchedProtocol``  §IV.C — "OFS-batched" baseline
+``CentralProtocol``        Fig. 1(c) — Ursa Minor ("CE")
+``CxProtocol``     the paper's contribution (lives in ``repro.core``)
+=================  ====================================================
+"""
+
+from repro.protocols.base import Protocol, ServerRole
+from repro.protocols.serial import SerialProtocol
+from repro.protocols.serial_batched import SerialBatchedProtocol
+from repro.protocols.twopc import TwoPCProtocol
+from repro.protocols.central import CentralProtocol
+
+
+def get_protocol(name: str) -> Protocol:
+    """Instantiate a protocol by its short name (includes "cx")."""
+    from repro.core import CxProtocol  # deferred: repro.core depends on us
+
+    from repro.protocols.ablations import CxSerialExecProtocol
+
+    registry = {
+        "ofs": SerialProtocol,
+        "ofs-batched": SerialBatchedProtocol,
+        "2pc": TwoPCProtocol,
+        "ce": CentralProtocol,
+        "cx": CxProtocol,
+        "cx-serial-exec": CxSerialExecProtocol,
+    }
+    try:
+        return registry[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown protocol {name!r}; choose from {sorted(registry)}"
+        ) from None
+
+
+#: Short names accepted by :func:`get_protocol`.
+PROTOCOL_NAMES = ("ofs", "ofs-batched", "2pc", "ce", "cx", "cx-serial-exec")
+
+__all__ = [
+    "CentralProtocol",
+    "PROTOCOL_NAMES",
+    "Protocol",
+    "SerialBatchedProtocol",
+    "SerialProtocol",
+    "ServerRole",
+    "TwoPCProtocol",
+    "get_protocol",
+]

@@ -1,0 +1,112 @@
+"""SE — the Serially-Execution protocol (plain OFS baseline).
+
+Figure 1(b) of the paper: "all sub-ops are serially and synchronously
+executed on the affected servers: the client first instructs the
+participant to execute its sub-ops; if the participant executes its
+sub-ops successfully, the client then asks the coordinator ... If the
+coordinator fails to perform the assigned sub-op, the process withdraws
+the former sub-ops by sending a CLEAR message to the participant."
+
+Persistence discipline: every update sub-op writes its modified
+objects synchronously into the KV store (BDB) before responding — the
+per-operation synchronization Cx removes.
+
+Known weakness the paper calls out (and our failure tests reproduce):
+if the *client* dies between the participant's success and the CLEAR,
+orphan objects remain and atomicity is violated.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.cluster.client import ClientProcess, OpResult
+from repro.fs.ops import OpPlan
+from repro.net.message import Message, MessageKind
+from repro.protocols.base import Protocol, ServerRole, result_from_resp
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.builder import Cluster
+    from repro.cluster.server import MetadataServer
+
+
+class SerialRole(ServerRole):
+    """Server side of SE: execute + sync write-back, or CLEAR (undo)."""
+
+    def handle(self, msg: Message) -> Generator:
+        if msg.kind is MessageKind.REQ:
+            yield from self._handle_req(msg)
+        elif msg.kind is MessageKind.CLEAR:
+            yield from self._handle_clear(msg)
+        else:  # pragma: no cover - protocol error
+            raise ValueError(f"SE server got unexpected {msg.kind}")
+
+    def _handle_req(self, msg: Message) -> Generator:
+        subop = msg.payload["subop"]
+        if subop.is_readonly:
+            res = yield from self.execute_readonly(subop)
+            self.reply_result(msg, res)
+            return
+        yield self.sim.timeout(self.params.cpu_subop)
+        res = self.server.shard.execute(subop, self.sim.now)
+        if res.ok:
+            events = self.server.shard.apply_sync(res.updates)
+            if events:
+                yield self.sim.all_of(events)
+        self.reply_result(msg, res)
+
+    def _handle_clear(self, msg: Message) -> Generator:
+        """Withdraw a previously executed sub-op (value-level undo)."""
+        undo = msg.payload["undo"]
+        yield self.sim.timeout(self.params.cpu_subop)
+        events = self.server.shard.apply_sync(undo)
+        if events:
+            yield self.sim.all_of(events)
+        self.server.send_reply(msg, MessageKind.RESP, {"ok": True})
+
+
+class SerialProtocol(Protocol):
+    """Plain OFS: serial execution, synchronous write-back."""
+
+    name = "ofs"
+
+    def make_role(self, server: "MetadataServer", cluster: "Cluster") -> SerialRole:
+        return SerialRole(server, cluster)
+
+    def client_perform(
+        self, cluster: "Cluster", process: ClientProcess, plan: OpPlan
+    ) -> Generator:
+        node = process.node
+        if not plan.cross_server:
+            resp = yield node.request(
+                cluster.server_id(plan.coordinator),
+                MessageKind.REQ,
+                {"subop": plan.coord_subop},
+            )
+            return result_from_resp(resp)
+
+        # 1. participant first
+        resp_p = yield node.request(
+            cluster.server_id(plan.participant),
+            MessageKind.REQ,
+            {"subop": plan.part_subop},
+        )
+        if not resp_p.payload["ok"]:
+            return result_from_resp(resp_p)
+
+        # 2. then the coordinator
+        resp_c = yield node.request(
+            cluster.server_id(plan.coordinator),
+            MessageKind.REQ,
+            {"subop": plan.coord_subop},
+        )
+        if resp_c.payload["ok"]:
+            return result_from_resp(resp_c)
+
+        # 3. coordinator failed: withdraw the participant's sub-op
+        yield node.request(
+            cluster.server_id(plan.participant),
+            MessageKind.CLEAR,
+            {"undo": resp_p.payload["undo"], "op_id_clear": plan.op.op_id},
+        )
+        return result_from_resp(resp_c)

@@ -1,0 +1,145 @@
+"""The simulator: virtual clock plus an ordered event queue."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Iterable, Optional
+
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    PRIORITY_NORMAL,
+    Timeout,
+)
+from repro.sim.process import Process
+
+
+class SimulationError(RuntimeError):
+    """An event failed with nobody waiting on it."""
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Events are processed in ``(time, priority, sequence)`` order; the
+    sequence number is assigned at scheduling time, making runs fully
+    reproducible for fixed RNG seeds.
+
+    Typical usage::
+
+        sim = Simulator()
+
+        def worker(sim):
+            yield sim.timeout(1.0)
+            return "done"
+
+        proc = sim.process(worker(sim))
+        sim.run()
+        assert proc.value == "done"
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = count()
+        #: number of events processed so far (diagnostics / tests)
+        self.events_processed = 0
+
+    # -- clock ----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    # -- scheduling -----------------------------------------------------
+
+    def schedule(
+        self, event: Event, delay: float = 0.0, priority: int = PRIORITY_NORMAL
+    ) -> None:
+        """Enqueue a triggered event for processing ``delay`` from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay!r})")
+        heapq.heappush(self._heap, (self._now + delay, priority, next(self._seq), event))
+
+    # -- event factories --------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that triggers when every event in ``events`` has."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that triggers when the first of ``events`` does."""
+        return AnyOf(self, events)
+
+    # -- execution --------------------------------------------------------
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if idle."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None  # mark processed
+        self.events_processed += 1
+        assert callbacks is not None
+        for cb in callbacks:
+            cb(event)
+        if event._ok is False and not event._defused:
+            exc = event._exc
+            raise SimulationError(
+                f"unhandled failure of {event!r} at t={self._now:.6f}: {exc!r}"
+            ) from exc
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains, or until virtual time ``until``.
+
+        With ``until`` given, the clock is advanced to exactly ``until``
+        even if the queue drains early, so periodic measurements line up.
+        """
+        if until is not None and until < self._now:
+            raise ValueError(f"until={until!r} is in the past (now={self._now!r})")
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                break
+            self.step()
+        if until is not None:
+            self._now = until
+
+    def run_until(self, event: Event) -> Any:
+        """Run until ``event`` is processed; return its value.
+
+        Acts as the event's waiter: a failure is defused here and
+        re-raised to the caller instead of crashing the simulation.
+        """
+        if not event.processed and event.callbacks is not None:
+            event.callbacks.append(
+                lambda e: e.defuse() if e._ok is False else None
+            )
+        while not event.processed:
+            if not self._heap:
+                raise SimulationError(
+                    f"queue drained before {event!r} was processed"
+                )
+            self.step()
+        if event._ok is False:
+            event.defuse()
+            raise event._exc  # type: ignore[misc]
+        return event._value

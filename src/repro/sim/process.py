@@ -1,0 +1,111 @@
+"""Generator-backed simulation processes."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.sim.events import Event, Interrupt, PRIORITY_URGENT
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.core import Simulator
+
+
+class Process(Event):
+    """A running activity wrapping a Python generator.
+
+    The generator advances by yielding :class:`Event` objects; it is
+    resumed with the event's value once the event is processed, or has
+    the event's exception thrown into it if the event failed.  The
+    process itself *is* an event: it triggers when the generator
+    returns (success, with the generator's return value) or raises
+    (failure), so processes can wait on each other by yielding them.
+    """
+
+    __slots__ = ("_gen", "_target", "name")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"Process needs a generator, got {generator!r}")
+        super().__init__(sim)
+        self._gen = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently waiting on (None when running).
+        self._target: Optional[Event] = None
+        # Bootstrap: resume the generator at the current instant, but via
+        # the queue so that process startup is ordered like everything else.
+        init = Event(sim)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)  # type: ignore[union-attr]
+        sim.schedule(init, priority=PRIORITY_URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant.
+
+        Used by failure injection to tear down server activities.  A
+        completed process cannot be interrupted (no-op), matching the
+        semantics of killing an already-dead thread.
+        """
+        if self.triggered:
+            return
+        ev = Event(self.sim)
+        ev._ok = False
+        ev._exc = Interrupt(cause)
+        ev._defused = True  # the throw below is the handling
+        ev.callbacks.append(self._resume_interrupt)  # type: ignore[union-attr]
+        self.sim.schedule(ev, priority=PRIORITY_URGENT)
+
+    # -- internals -------------------------------------------------------
+
+    def _resume_interrupt(self, event: Event) -> None:
+        if self.triggered:
+            return  # finished between scheduling and delivery
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        self._target = None
+        self._resume(event)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        self._target = None
+        while True:
+            try:
+                if event._ok:
+                    target = self._gen.send(event._value)
+                else:
+                    event._defused = True
+                    target = self._gen.throw(event._exc)  # type: ignore[arg-type]
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                self.fail(exc)
+                return
+
+            if not isinstance(target, Event):
+                error = TypeError(
+                    f"process {self.name!r} yielded non-event {target!r}"
+                )
+                try:
+                    self._gen.throw(error)
+                except StopIteration:
+                    self.succeed(None)
+                except BaseException as exc:
+                    self.fail(exc)
+                return
+
+            if target.processed:
+                # Already-processed event: resume immediately (same instant).
+                event = target
+                continue
+            target.callbacks.append(self._resume)  # type: ignore[union-attr]
+            self._target = target
+            return

@@ -1,0 +1,132 @@
+"""Shared-resource primitives: counting resources and message stores."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, Generator, Optional
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.core import Simulator
+
+
+class ResourceClosed(RuntimeError):
+    """Raised to waiters when a Store/Resource is torn down (crash)."""
+
+
+class Resource:
+    """A counting resource (semaphore) with FIFO granting.
+
+    ``request()`` returns an event that succeeds when a slot is granted;
+    ``release()`` frees a slot.  Use via the ``acquire`` generator for
+    with-like scoping inside a process::
+
+        yield disk_resource.request()
+        try:
+            ...
+        finally:
+            disk_resource.release()
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    def request(self) -> Event:
+        ev = Event(self.sim)
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self.in_use <= 0:
+            raise RuntimeError("release() without matching request()")
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.triggered:  # skip cancelled waiters
+                waiter.succeed()
+                return
+        self.in_use -= 1
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+
+class Store:
+    """An unbounded FIFO channel of items (e.g. a node's message inbox).
+
+    ``put`` never blocks; ``get`` returns an event that succeeds with
+    the oldest item.  ``close`` fails all current and future getters
+    with :class:`ResourceClosed` — used when a node crashes so its
+    service loops unwind.
+    """
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def put(self, item: Any) -> None:
+        if self._closed:
+            return  # messages to a crashed node are dropped
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered:
+                getter.succeed(item)
+                return
+        self._items.append(item)
+
+    def get(self) -> Event:
+        ev = Event(self.sim)
+        if self._closed:
+            ev.fail(ResourceClosed("store is closed"))
+            ev.defuse()
+            return ev
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def close(self) -> None:
+        """Drop buffered items and fail all waiting getters."""
+        self._closed = True
+        self._items.clear()
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered:
+                getter.fail(ResourceClosed("store closed"))
+
+    def reopen(self) -> None:
+        """Re-enable the store after a reboot."""
+        self._closed = False
+
+
+def hold(resource: Resource, work: Generator) -> Generator:
+    """Run ``work`` (a generator) while holding one slot of ``resource``.
+
+    Yields the work generator's final value.
+    """
+    yield resource.request()
+    try:
+        result = yield resource.sim.process(work)
+    finally:
+        resource.release()
+    return result

@@ -1,0 +1,16 @@
+"""Storage substrate: disk model, IO scheduling, log file, KV store."""
+
+from repro.storage.disk import Disk, DiskStats, Extent
+from repro.storage.iosched import merge_extents
+from repro.storage.kvstore import KVStore
+from repro.storage.wal import LogRecord, WriteAheadLog
+
+__all__ = [
+    "Disk",
+    "DiskStats",
+    "Extent",
+    "KVStore",
+    "LogRecord",
+    "WriteAheadLog",
+    "merge_extents",
+]

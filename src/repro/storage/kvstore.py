@@ -1,0 +1,237 @@
+"""Berkeley-DB stand-in: the per-server metadata database.
+
+OrangeFS stores metadata "as rows in Berkeley DataBase (BDB)" on a local
+ext3 disk.  This module models that store with exactly the two
+write-back disciplines the paper compares:
+
+* **synchronous write-back** (plain OFS): every put goes straight to
+  disk at the record's location and the caller waits for it;
+* **deferred write-back** (OFS-batched, OFS-Cx): puts update memory and
+  a dirty set; :meth:`flush` writes the whole dirty set in one batch,
+  elevator-sorted and merged by the IO scheduler.
+
+Record placement models BDB's btree-file behaviour for OrangeFS's
+workload: records are laid out in insertion order, so files created
+consecutively in one directory occupy adjacent rows — which is why the
+paper's update-dominated Metarates runs merge so well ("metadata
+objects are sequentially placed on disk in OFS").
+
+Durability model: durable state survives a crash; the memory overlay
+(deferred puts not yet flushed) is lost.  The protocol layer is
+responsible for logging deferred updates in the WAL first.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.params import SimParams
+from repro.sim import Event, Simulator
+from repro.storage.disk import Disk, Extent
+from repro.storage.iosched import merge_extents
+
+#: Tombstone marking a deleted key in the overlay.
+_DELETED = object()
+
+
+class KVStore:
+    """Key-value store over one region of the server's disk."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        disk: Disk,
+        params: SimParams,
+        base_offset: int = 64 * 1024 * 1024,
+        name: str = "kv",
+    ) -> None:
+        self.sim = sim
+        self.disk = disk
+        self.params = params
+        self.name = name
+        self.base_offset = base_offset
+        self._durable: Dict[Any, Any] = {}
+        self._overlay: Dict[Any, Any] = {}
+        self._dirty: Dict[Any, Any] = {}
+        self._offsets: Dict[Any, int] = {}
+        self._next_offset = base_offset
+        self.sync_puts = 0
+        self.deferred_puts = 0
+        self.flush_count = 0
+        self.flushed_records = 0
+        self.flushed_requests = 0
+
+    # -- reads ------------------------------------------------------------
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        if key in self._overlay:
+            val = self._overlay[key]
+            return default if val is _DELETED else val
+        return self._durable.get(key, default)
+
+    def __contains__(self, key: Any) -> bool:
+        if key in self._overlay:
+            return self._overlay[key] is not _DELETED
+        return key in self._durable
+
+    def __len__(self) -> int:
+        n = len(self._durable)
+        for key, val in self._overlay.items():
+            if key in self._durable:
+                if val is _DELETED:
+                    n -= 1
+            elif val is not _DELETED:
+                n += 1
+        return n
+
+    # -- placement ----------------------------------------------------------
+
+    def _offset_of(self, key: Any) -> int:
+        off = self._offsets.get(key)
+        if off is None:
+            off = self._next_offset
+            self._offsets[key] = off
+            self._next_offset += self.params.kv_record_size
+        return off
+
+    # -- synchronous write-back ----------------------------------------------
+
+    def put_sync(self, key: Any, value: Any) -> Event:
+        """Write-through put; the event fires when the row is on disk.
+
+        The new value is visible to reads immediately (the store's page
+        cache); the event marks durability.
+        """
+        self.sync_puts += 1
+        self._overlay[key] = value
+        # The sync write carries the latest value; any stale deferred
+        # entry for the key is superseded.
+        self._dirty.pop(key, None)
+        extent = Extent(self._offset_of(key), self.params.kv_record_size)
+        done = self.disk.submit([extent], write=True)
+        done.callbacks.append(lambda _ev: self._make_durable(key, value))  # type: ignore[union-attr]
+        return done
+
+    def delete_sync(self, key: Any) -> Event:
+        return self.put_sync(key, _DELETED)
+
+    def put_sync_many(self, items: List[Tuple[Any, Any]]) -> Event:
+        """One transaction: all rows written by a single merged request.
+
+        ``None`` values are deletions.  Visible to reads immediately,
+        durable when the returned event fires.
+        """
+        if not items:
+            raise ValueError("empty transaction")
+        self.sync_puts += len(items)
+        extents = []
+        normalized: List[Tuple[Any, Any]] = []
+        for key, value in items:
+            value = _DELETED if value is None else value
+            self._overlay[key] = value
+            self._dirty.pop(key, None)
+            normalized.append((key, value))
+            extents.append(Extent(self._offset_of(key), self.params.kv_record_size))
+        merged = merge_extents(extents, self.params.disk_merge_gap)
+        done = self.disk.submit(merged, write=True)
+
+        def _complete(_ev: Event) -> None:
+            for key, value in normalized:
+                self._make_durable(key, value)
+
+        done.callbacks.append(_complete)  # type: ignore[union-attr]
+        return done
+
+    def _make_durable(self, key: Any, value: Any) -> None:
+        if value is _DELETED:
+            self._durable.pop(key, None)
+        else:
+            self._durable[key] = value
+        # A sync write supersedes any stale overlay entry for the key.
+        if key in self._overlay and key not in self._dirty:
+            self._overlay.pop(key, None)
+
+    # -- deferred write-back ----------------------------------------------------
+
+    def put_deferred(self, key: Any, value: Any) -> None:
+        """Memory-only put; becomes durable at the next :meth:`flush`."""
+        self.deferred_puts += 1
+        self._offset_of(key)  # fix placement at first write
+        self._overlay[key] = value
+        self._dirty[key] = value
+
+    def delete_deferred(self, key: Any) -> None:
+        self.put_deferred(key, _DELETED)
+
+    @property
+    def dirty_count(self) -> int:
+        return len(self._dirty)
+
+    def flush(self) -> Optional[Event]:
+        """Write the whole dirty set in one merged batch.
+
+        Returns the completion event, or ``None`` when nothing is dirty.
+        """
+        if not self._dirty:
+            return None
+        snapshot: List[Tuple[Any, Any]] = list(self._dirty.items())
+        self._dirty.clear()
+        return self._flush_snapshot(snapshot)
+
+    def flush_keys(self, keys: Iterable[Any]) -> Optional[Event]:
+        """Write back only the given keys' dirty entries (merged).
+
+        Used by commitments: only the committed operations' objects are
+        synchronized, so an immediate commitment does not pay for every
+        other pending operation's write-back.
+        """
+        snapshot: List[Tuple[Any, Any]] = []
+        for key in keys:
+            if key in self._dirty:
+                snapshot.append((key, self._dirty.pop(key)))
+        if not snapshot:
+            return None
+        return self._flush_snapshot(snapshot)
+
+    def _flush_snapshot(self, snapshot: List[Tuple[Any, Any]]) -> Event:
+        extents = [
+            Extent(self._offset_of(key), self.params.kv_record_size)
+            for key, _val in snapshot
+        ]
+        merged = merge_extents(extents, self.params.disk_merge_gap)
+        self.flush_count += 1
+        self.flushed_records += len(snapshot)
+        self.flushed_requests += len(merged)
+        done = self.disk.submit(merged, write=True)
+
+        def _complete(_ev: Event) -> None:
+            for key, val in snapshot:
+                if val is _DELETED:
+                    self._durable.pop(key, None)
+                else:
+                    self._durable[key] = val
+                if key not in self._dirty:
+                    self._overlay.pop(key, None)
+
+        done.callbacks.append(_complete)  # type: ignore[union-attr]
+        return done
+
+    # -- failure injection --------------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose all volatile state (overlay + dirty set)."""
+        self._overlay.clear()
+        self._dirty.clear()
+
+    def durable_items(self) -> Iterable[Tuple[Any, Any]]:
+        """On-disk contents, for recovery and consistency checking."""
+        return self._durable.items()
+
+    def items(self) -> Iterable[Tuple[Any, Any]]:
+        """Live (memory-visible) contents: durable state plus overlay."""
+        for key, val in self._durable.items():
+            if key not in self._overlay:
+                yield key, val
+        for key, val in self._overlay.items():
+            if val is not _DELETED:
+                yield key, val

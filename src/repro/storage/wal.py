@@ -1,0 +1,221 @@
+"""Log-structured operation log.
+
+Cx stores its Result/Commit/Abort/Complete records in "a log-structured
+file ... and build[s] an index on top of it to accelerate searches"
+(paper §IV.A).  This module models that file:
+
+* appends are sequential and *group committed*: all records queued while
+  a flush is in flight are written by the next single disk request, so
+  concurrent synchronous appends amortize to one settle + bandwidth;
+* an in-memory index maps operation ids to their records;
+* *valid records* (records of operations whose commitment is still
+  pending) occupy log space; when the log hits its upper limit, new
+  appends block until pruning frees space — the effect Figure 7(a)
+  measures;
+* pruning follows the paper's rule: the coordinator prunes an operation
+  once its Complete-Record exists, the participant once its
+  Commit/Abort-Record exists (enforced by the protocol layer, which
+  calls :meth:`prune_op`).
+
+The log's contents survive crashes; only in-memory state is volatile.
+Recovery re-reads the valid region sequentially (see
+:meth:`scan_cost`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.params import SimParams
+from repro.sim import Event, Simulator, Store
+from repro.storage.disk import Disk, Extent
+
+#: Operation id: (client id, process id, sequence number) — paper §III.A.
+OpId = Tuple[int, int, int]
+
+
+@dataclass
+class LogRecord:
+    """One record in the operation log."""
+
+    op_id: OpId
+    rtype: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    size: int = 128
+    #: Invalidated records no longer count as valid but remain on disk
+    #: until pruning (Cx invalidates Result-Records of re-ordered
+    #: sub-ops during disordered-conflict handling).
+    invalid: bool = False
+
+
+class WriteAheadLog:
+    """Append-only, group-committed, capacity-limited log file."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        disk: Disk,
+        params: SimParams,
+        base_offset: int = 0,
+        capacity: Optional[int] = None,
+        name: str = "wal",
+    ) -> None:
+        self.sim = sim
+        self.disk = disk
+        self.params = params
+        self.name = name
+        self.base_offset = base_offset
+        #: None means unlimited (used by the Fig. 9 sensitivity runs).
+        self.capacity = capacity
+        self._tail = base_offset
+        self._index: Dict[OpId, List[LogRecord]] = {}
+        self.valid_bytes = 0
+        self.appends = 0
+        self.flushes = 0
+        self.blocked_appends = 0
+        self._flush_queue: Store = Store(sim)
+        #: Records admitted but not yet durable (lost on crash).
+        self._unflushed: List[LogRecord] = []
+        self._space_waiters: Deque[Tuple[LogRecord, Event]] = deque()
+        #: Hook invoked (once per blocking append) when the log is full;
+        #: the Cx server uses it to launch an urgent pruning commitment.
+        self.on_full: Optional[Callable[[], None]] = None
+        self._flusher = sim.process(self._flush_loop())
+
+    # -- queries -----------------------------------------------------------
+
+    def records_of(self, op_id: OpId) -> List[LogRecord]:
+        return list(self._index.get(op_id, ()))
+
+    def has_record(self, op_id: OpId, rtype: str) -> bool:
+        return any(r.rtype == rtype and not r.invalid for r in self._index.get(op_id, ()))
+
+    def ops_in_log(self) -> List[OpId]:
+        return list(self._index.keys())
+
+    @property
+    def free_bytes(self) -> Optional[int]:
+        if self.capacity is None:
+            return None
+        return self.capacity - self.valid_bytes
+
+    # -- appends -----------------------------------------------------------
+
+    def append(self, record: LogRecord, urgent: bool = False) -> Event:
+        """Durably append ``record``; event fires once it is on disk.
+
+        Blocks (queues) while the log is at capacity, after notifying
+        ``on_full`` so the owner can trigger pruning.  ``urgent``
+        appends bypass the capacity check: commitment records
+        (Commit/Abort/Complete) must never block, because they are what
+        enables pruning — blocking them would deadlock a full log.
+        """
+        done = Event(self.sim)
+        if (not urgent and self.capacity is not None
+                and self.valid_bytes + record.size > self.capacity):
+            self.blocked_appends += 1
+            self._space_waiters.append((record, done))
+            if self.on_full is not None:
+                self.on_full()
+            return done
+        self._admit(record, done)
+        return done
+
+    def _admit(self, record: LogRecord, done: Event) -> None:
+        self._index.setdefault(record.op_id, []).append(record)
+        self.valid_bytes += record.size
+        self.appends += 1
+        self._unflushed.append(record)
+        self._flush_queue.put((record, done))
+
+    # -- invalidation and pruning -------------------------------------------
+
+    def invalidate(self, record: LogRecord) -> None:
+        """Mark a record invalid (space freed logically at prune time).
+
+        Invalidation is a memory operation; the on-disk bytes are
+        reclaimed when the owning operation is pruned.
+        """
+        record.invalid = True
+
+    def prune_op(self, op_id: OpId) -> int:
+        """Drop every record of ``op_id``; returns bytes freed."""
+        records = self._index.pop(op_id, None)
+        if not records:
+            return 0
+        freed = sum(r.size for r in records)
+        self.valid_bytes -= freed
+        self._wake_waiters()
+        return freed
+
+    def _wake_waiters(self) -> None:
+        while self._space_waiters:
+            record, done = self._space_waiters[0]
+            if (
+                self.capacity is not None
+                and self.valid_bytes + record.size > self.capacity
+            ):
+                break
+            self._space_waiters.popleft()
+            self._admit(record, done)
+
+    # -- failure injection ------------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose appends that never completed on disk.
+
+        Both the queued appends and the flusher's in-flight batch are
+        dropped (a write whose IO did not finish is treated as torn);
+        the index afterwards reflects exactly the recoverable on-disk
+        contents, which is what recovery scans.
+        """
+        doomed = self._unflushed
+        self._unflushed = []
+        while len(self._flush_queue):
+            self._flush_queue.get()
+        for record in doomed:
+            self.valid_bytes -= record.size
+            recs = self._index.get(record.op_id)
+            if recs is not None:
+                try:
+                    recs.remove(record)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+                if not recs:
+                    del self._index[record.op_id]
+        self._space_waiters.clear()
+        self.on_full = None
+
+    # -- recovery support ----------------------------------------------------
+
+    def scan_cost(self) -> float:
+        """Time to sequentially read and parse the valid log region."""
+        io = (
+            self.params.disk_seek
+            + self.valid_bytes * self.params.disk_byte_time
+        )
+        nrecords = sum(len(v) for v in self._index.values())
+        return io + nrecords * self.params.recovery_record_cpu
+
+    # -- flusher ---------------------------------------------------------------
+
+    def _flush_loop(self):
+        while True:
+            first = yield self._flush_queue.get()
+            batch = [first]
+            while len(self._flush_queue):
+                batch.append(self._flush_queue.get().value)
+            nbytes = sum(rec.size for rec, _done in batch)
+            extent = Extent(self._tail, nbytes)
+            self._tail += nbytes
+            yield self.disk.submit([extent], write=True)
+            self.flushes += 1
+            for rec, done in batch:
+                try:
+                    self._unflushed.remove(rec)
+                except ValueError:
+                    pass  # dropped by a crash while we were writing
+                if not done.triggered:
+                    done.succeed()

@@ -1,0 +1,18 @@
+"""Workloads: the paper's six traces, Metarates, replay, injection."""
+
+from repro.workloads.spec import TRACE_SPECS, TraceSpec
+from repro.workloads.traces import TraceWorkload
+from repro.workloads.metarates import MetaratesWorkload
+from repro.workloads.replay import ReplayResult, replay_streams
+from repro.workloads.inject import ConflictInjector, build_probe_op
+
+__all__ = [
+    "ConflictInjector",
+    "build_probe_op",
+    "MetaratesWorkload",
+    "ReplayResult",
+    "TRACE_SPECS",
+    "TraceSpec",
+    "TraceWorkload",
+    "replay_streams",
+]

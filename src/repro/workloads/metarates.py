@@ -1,0 +1,108 @@
+"""Metarates benchmark emulation (paper §IV.B).
+
+"We used the Metarates benchmark ... (1) a read-dominated workload,
+which consists of 20% updates and 80% stats ... (2) a update-dominated
+workload, which consists of 80% updates and 20% stats ... the update
+and stat operations in these workloads are designed to concurrently
+create/remove zero-bytes files in a common directory, and to
+concurrently stat the generated files ... a single server manages
+40,000 files in a directory."
+
+Updates alternate create/remove of a process's own zero-byte files in
+the one common directory (keeping the namespace bounded); stats hit the
+preloaded file population.  Because every process works on its own file
+names, conflicts are rare — matching the paper's checkpoint-style
+exclusivity argument.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.cluster.builder import ROOT_HANDLE
+from repro.fs.ops import FileOperation, OpType
+from repro.workloads.traces import FileRef
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.builder import Cluster
+    from repro.cluster.client import ClientProcess
+
+
+class MetaratesWorkload:
+    """N processes hammering one common directory."""
+
+    def __init__(
+        self,
+        update_fraction: float,
+        ops_per_process: int = 50,
+        preload_per_server: int = 1000,
+        seed: int = 0,
+    ) -> None:
+        if not 0 <= update_fraction <= 1:
+            raise ValueError("update_fraction must be in [0, 1]")
+        self.update_fraction = update_fraction
+        self.ops_per_process = ops_per_process
+        self.preload_per_server = preload_per_server
+        self.seed = seed
+        self.common_dir: int = -1
+        self.known_dirs: List[int] = []
+
+    @classmethod
+    def update_dominated(cls, **kwargs) -> "MetaratesWorkload":
+        """80% updates / 20% stats (paper's update-dominated mix)."""
+        return cls(update_fraction=0.8, **kwargs)
+
+    @classmethod
+    def read_dominated(cls, **kwargs) -> "MetaratesWorkload":
+        """20% updates / 80% stats (Vogels: ~79% of accesses are reads)."""
+        return cls(update_fraction=0.2, **kwargs)
+
+    def build(
+        self, cluster: "Cluster", processes: List["ClientProcess"]
+    ) -> Dict["ClientProcess", List[FileOperation]]:
+        rng = cluster.rngs.stream(f"metarates:{self.seed}")
+        self.common_dir = cluster.preload_dir(ROOT_HANDLE, "metarates")
+        self.known_dirs = [self.common_dir]
+
+        # "enough files are created on each server to reach its peak
+        # performance" — spread the preloaded population evenly.
+        nserv = len(cluster.servers)
+        preload: List[FileRef] = []
+        for s in range(nserv):
+            for i in range(self.preload_per_server):
+                name = f"pre-s{s}-{i}"
+                handle = cluster.preload_file(self.common_dir, name, server=s)
+                preload.append((self.common_dir, name, handle))
+
+        streams: Dict["ClientProcess", List[FileOperation]] = {}
+        for pidx, proc in enumerate(processes):
+            ops: List[FileOperation] = []
+            own: List[FileRef] = []
+            serial = 0
+            for _ in range(self.ops_per_process):
+                if rng.random() < self.update_fraction:
+                    # Alternate create/remove so the directory stays
+                    # bounded, biased toward create while young.
+                    if own and rng.random() < 0.5:
+                        parent, name, handle = own.pop(rng.randrange(len(own)))
+                        ops.append(
+                            FileOperation(OpType.REMOVE, proc.new_op_id(),
+                                          parent=parent, name=name, target=handle)
+                        )
+                    else:
+                        serial += 1
+                        name = f"m{pidx}-{serial}"
+                        handle = cluster.placement.allocate_handle()
+                        own.append((self.common_dir, name, handle))
+                        ops.append(
+                            FileOperation(OpType.CREATE, proc.new_op_id(),
+                                          parent=self.common_dir, name=name,
+                                          target=handle)
+                        )
+                else:
+                    _p, _n, handle = rng.choice(preload)
+                    ops.append(
+                        FileOperation(OpType.STAT, proc.new_op_id(), target=handle)
+                    )
+            streams[proc] = ops
+        return streams

@@ -1,0 +1,141 @@
+"""Descriptors of the paper's six traces (Table II / Figure 4 / §IV.C).
+
+The paper replays three supercomputing traces from Sandia's Red Storm
+(CTH, s3d_fortIO, alegra — periodic checkpointing into per-process
+state files) and three Harvard NFS traces (home2, deasna2, lair62b —
+home/research/email file servers, exclusive-dominated user directories).
+
+We cannot redistribute the traces; instead each spec parameterizes a
+synthetic generator (:mod:`repro.workloads.traces`) to match the three
+statistics the paper's analysis shows matter to Cx:
+
+* the published total operation count (Table II) — replays are run at a
+  configurable ``scale`` of it;
+* the metadata operation mix (Figure 4; the printed bar values are not
+  recoverable from the paper, so the mixes below are estimates
+  consistent with the text: checkpoint traces are create/update-heavy —
+  "about 48% of metadata requests are cross-server operations" on s3d,
+  "about 35%" on CTH — while the NFS traces are read-dominated);
+* the published conflict ratio (Table II), matched by each process
+  directing a small tuned fraction of its accesses at a shared file
+  pool (``shared_prob``; checkpoint state files are otherwise
+  exclusive, which the paper identifies as the reason conflicts are
+  rare).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.fs.ops import OpType
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Parameters of one synthetic trace."""
+
+    name: str
+    #: Total metadata operations in the original trace (Table II).
+    total_ops: int
+    #: Conflict ratio the original trace exhibits (Table II), as a
+    #: fraction (0.00112 = 0.112%).
+    conflict_ratio: float
+    #: Operation mix (fractions summing to 1).
+    op_mix: Dict[OpType, float] = field(default_factory=dict)
+    #: Probability that an operation targets the shared pool (tuned so
+    #: the measured conflict ratio approximates ``conflict_ratio``).
+    shared_prob: float = 0.01
+    #: Workload family: "hpc" (common checkpoint dir, per-process
+    #: files) or "nfs" (per-user home directories).
+    family: str = "hpc"
+
+    def __post_init__(self) -> None:
+        total = sum(self.op_mix.values())
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"{self.name}: op mix sums to {total}, not 1")
+
+
+def _mix(**kwargs: float) -> Dict[OpType, float]:
+    return {OpType(k): v for k, v in kwargs.items()}
+
+
+#: The six traces of the paper.  ``shared_prob`` values were tuned by
+#: bisection against the measured conflict ratio at the canonical
+#: experiment configuration (repro.experiments.common: 8 servers, 32
+#: client processes, per-trace scales, 0.25 s scaled commit timeout);
+#: benchmarks/test_table2_conflict_ratio.py verifies the match.
+TRACE_SPECS: Dict[str, TraceSpec] = {
+    # --- Sandia Red Storm supercomputing traces -------------------------
+    # CTH: "about 35% cross-server operations".  With 8 servers a
+    # fraction (N-1)/N of entry+inode ops split across servers, so a
+    # ~40% update mix yields ~35% cross-server requests.
+    "CTH": TraceSpec(
+        name="CTH",
+        total_ops=505_247,
+        conflict_ratio=0.00112,
+        op_mix=_mix(create=0.22, remove=0.10, unlink=0.04, mkdir=0.02,
+                    rmdir=0.01, link=0.01, stat=0.38, lookup=0.18,
+                    setattr=0.03, readdir=0.01),
+        shared_prob=0.0077,
+        family="hpc",
+    ),
+    # s3d_fortIO: "about 48% of metadata requests are cross-server".
+    "s3d": TraceSpec(
+        name="s3d",
+        total_ops=724_818,
+        conflict_ratio=0.00322,
+        op_mix=_mix(create=0.33, remove=0.14, unlink=0.04, mkdir=0.02,
+                    rmdir=0.01, link=0.01, stat=0.27, lookup=0.14,
+                    setattr=0.03, readdir=0.01),
+        shared_prob=0.0122,
+        family="hpc",
+    ),
+    "alegra": TraceSpec(
+        name="alegra",
+        total_ops=404_812,
+        conflict_ratio=0.00623,
+        op_mix=_mix(create=0.26, remove=0.12, unlink=0.03, mkdir=0.02,
+                    rmdir=0.01, link=0.01, stat=0.33, lookup=0.17,
+                    setattr=0.04, readdir=0.01),
+        shared_prob=0.0195,
+        family="hpc",
+    ),
+    # --- Harvard NFS traces --------------------------------------------
+    # home2 (primary home dirs): moderately write-heavy per Ellard's
+    # FAST'03 analysis of the same traces.
+    "home2": TraceSpec(
+        name="home2",
+        total_ops=2_720_599,
+        conflict_ratio=0.00669,
+        op_mix=_mix(create=0.14, remove=0.08, unlink=0.04, mkdir=0.015,
+                    rmdir=0.005, link=0.02, stat=0.40, lookup=0.25,
+                    setattr=0.04, readdir=0.01),
+        shared_prob=0.0348,
+        family="nfs",
+    ),
+    # deasna-2 (research dirs): Ellard et al. found deasna distinctly
+    # write-dominated; it is also the paper's highest-conflict trace.
+    "deasna2": TraceSpec(
+        name="deasna2",
+        total_ops=3_888_022,
+        conflict_ratio=0.02972,
+        op_mix=_mix(create=0.20, remove=0.12, unlink=0.05, mkdir=0.02,
+                    rmdir=0.01, link=0.02, stat=0.32, lookup=0.20,
+                    setattr=0.05, readdir=0.01),
+        shared_prob=0.0987,
+        family="nfs",
+    ),
+    "lair62b": TraceSpec(
+        name="lair62b",
+        total_ops=11_057_516,
+        conflict_ratio=0.01571,
+        # lair62b is the email-server trace; email stores are known
+        # write-heavy (tiny deliveries, status rewrites, lock files).
+        op_mix=_mix(create=0.20, remove=0.11, unlink=0.05, mkdir=0.015,
+                    rmdir=0.005, link=0.02, stat=0.33, lookup=0.21,
+                    setattr=0.05, readdir=0.01),
+        shared_prob=0.0553,
+        family="nfs",
+    ),
+}

@@ -1,0 +1,136 @@
+"""Unit tests for metrics, consistency checking, and table rendering."""
+
+import pytest
+
+from repro.analysis import MetricsCollector, OpRecord, TimelineSampler, render_table
+from repro.analysis.consistency import check_atomicity, check_namespace_invariants
+from repro.analysis.tables import render_series
+from repro.cluster.builder import ROOT_HANDLE
+from repro.fs.objects import DirEntry, Inode, FileType, dirent_key, inode_key
+from repro.fs.ops import FileOperation, OpType
+from tests.conftest import build_cluster
+
+
+def rec(seq, op_type=OpType.CREATE, ok=True, cross=True, start=0.0, end=1.0,
+        conflicted=False):
+    return OpRecord((1, 1, seq), op_type, cross, ok, None if ok else "EIO",
+                    start, end, conflicted)
+
+
+class TestMetricsCollector:
+    def test_counts(self):
+        m = MetricsCollector()
+        m.record(rec(1))
+        m.record(rec(2, ok=False))
+        m.record(rec(3, cross=False, conflicted=True))
+        assert m.total_ops == 3
+        assert m.completed_ok == 2
+        assert m.cross_server_ops == 2
+        assert m.conflicted_ops == 1
+        assert m.conflict_ratio == pytest.approx(1 / 3)
+
+    def test_makespan_and_throughput(self):
+        m = MetricsCollector()
+        m.record(rec(1, start=1.0, end=2.0))
+        m.record(rec(2, start=1.5, end=5.0))
+        assert m.makespan == pytest.approx(4.0)
+        assert m.throughput() == pytest.approx(0.5)
+
+    def test_empty_safe(self):
+        m = MetricsCollector()
+        assert m.makespan == 0.0
+        assert m.throughput() == 0.0
+        assert m.conflict_ratio == 0.0
+        assert m.mean_latency() == 0.0
+
+    def test_latency_stats(self):
+        m = MetricsCollector()
+        for i, dur in enumerate([1.0, 2.0, 3.0]):
+            m.record(rec(i, start=0.0, end=dur))
+        assert m.mean_latency() == pytest.approx(2.0)
+        assert m.latency_percentile(50) == pytest.approx(2.0)
+
+    def test_ops_by_type(self):
+        m = MetricsCollector()
+        m.record(rec(1, op_type=OpType.STAT))
+        m.record(rec(2, op_type=OpType.STAT))
+        m.record(rec(3, op_type=OpType.CREATE))
+        assert m.ops_by_type() == {OpType.STAT: 2, OpType.CREATE: 1}
+
+
+class TestTimelineSampler:
+    def test_samples_periodically(self, sim):
+        values = iter(range(100))
+        sampler = TimelineSampler(sim, lambda: next(values), period=1.0)
+        sim.run(until=3.5)
+        xs, ys = sampler.series()
+        assert list(xs) == [0.0, 1.0, 2.0, 3.0]
+        assert list(ys) == [0.0, 1.0, 2.0, 3.0]
+        assert sampler.peak == 3.0
+
+    def test_period_validation(self, sim):
+        with pytest.raises(ValueError):
+            TimelineSampler(sim, lambda: 0, period=0)
+
+
+class TestConsistencyChecker:
+    def test_clean_cluster_no_violations(self):
+        cluster = build_cluster("cx")
+        d = cluster.preload_dir(ROOT_HANDLE, "dir")
+        cluster.preload_file(d, "f")
+        assert check_namespace_invariants(cluster, known_dirs=[d]) == []
+
+    def test_detects_dangling_entry(self):
+        cluster = build_cluster("cx")
+        d = cluster.preload_dir(ROOT_HANDLE, "dir")
+        server = cluster.servers[cluster.placement.dirent_server(d, "ghost")]
+        server.kv._durable[dirent_key(d, "ghost")] = DirEntry(d, "ghost", 99999)
+        violations = check_namespace_invariants(cluster, known_dirs=[d])
+        assert any(v.kind == "dangling-entry" for v in violations)
+
+    def test_detects_orphan_inode(self):
+        cluster = build_cluster("cx")
+        h = 12345 * len(cluster.servers)
+        cluster.servers[0].kv._durable[inode_key(h)] = Inode(h, FileType.REGULAR)
+        violations = check_namespace_invariants(cluster)
+        assert any(v.kind == "orphan-inode" for v in violations)
+
+    def test_detects_nlink_mismatch(self):
+        cluster = build_cluster("cx")
+        d = cluster.preload_dir(ROOT_HANDLE, "dir")
+        h = cluster.preload_file(d, "f")
+        iserver = cluster.servers[cluster.placement.inode_server(h)]
+        iserver.kv._durable[inode_key(h)] = Inode(h, FileType.REGULAR, nlink=7)
+        violations = check_namespace_invariants(cluster, known_dirs=[d])
+        assert any(v.kind == "nlink-mismatch" for v in violations)
+
+    def test_atomicity_checker_flags_partial_create(self):
+        cluster = build_cluster("cx")
+        d = cluster.preload_dir(ROOT_HANDLE, "dir")
+        h = cluster.placement.allocate_handle()
+        op = FileOperation(OpType.CREATE, (9, 9, 1), parent=d, name="half", target=h)
+        # fabricate a half-applied create: entry without inode
+        server = cluster.servers[cluster.placement.dirent_server(d, "half")]
+        server.kv._durable[dirent_key(d, "half")] = DirEntry(d, "half", h)
+        violations = check_atomicity(cluster, [(op, True)])
+        assert violations
+
+    def test_atomicity_checker_accepts_complete_create(self):
+        cluster = build_cluster("cx")
+        d = cluster.preload_dir(ROOT_HANDLE, "dir")
+        h = cluster.preload_file(d, "whole")
+        op = FileOperation(OpType.CREATE, (9, 9, 1), parent=d, name="whole", target=h)
+        assert check_atomicity(cluster, [(op, True)]) == []
+
+
+class TestRendering:
+    def test_render_table_basic(self):
+        text = render_table(["a", "b"], [[1, 2.5], ["x", 3.25]], title="T")
+        assert "T" in text
+        assert "| a" in text
+        assert "2.500" in text
+
+    def test_render_series(self):
+        text = render_series("n", [1, 2], {"ofs": [10.0, 20.0], "cx": [5.0, 9.0]})
+        assert "ofs" in text and "cx" in text
+        assert "20.000" in text

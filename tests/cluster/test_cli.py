@@ -1,0 +1,27 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "table5", "fig4", "fig9"):
+            assert name in out
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+    def test_spec_table_runs(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "insert_entry" in out
+        assert "regenerated in" in out
+
+    def test_table3_runs(self, capsys):
+        assert main(["table3"]) == 0
+        assert "L-COM" in capsys.readouterr().out

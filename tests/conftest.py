@@ -1,0 +1,80 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Cluster, SimParams
+from repro.cluster.builder import ROOT_HANDLE
+from repro.fs.ops import FileOperation, OpType
+from repro.protocols import get_protocol
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def params() -> SimParams:
+    return SimParams()
+
+
+@pytest.fixture
+def fast_commit_params() -> SimParams:
+    """Params with a short lazy-commit timeout so tests settle quickly."""
+    return SimParams(commit_timeout=0.05)
+
+
+def build_cluster(
+    protocol: str = "cx",
+    num_servers: int = 4,
+    num_clients: int = 2,
+    procs_per_client: int = 2,
+    params: SimParams | None = None,
+    seed: int = 1,
+) -> Cluster:
+    return Cluster.build(
+        num_servers=num_servers,
+        num_clients=num_clients,
+        protocol=get_protocol(protocol),
+        params=params or SimParams(commit_timeout=0.05),
+        procs_per_client=procs_per_client,
+        seed=seed,
+    )
+
+
+@pytest.fixture
+def cluster_factory():
+    return build_cluster
+
+
+def make_create(cluster, proc, parent, name, target=None) -> FileOperation:
+    return FileOperation(
+        OpType.CREATE,
+        proc.new_op_id(),
+        parent=parent,
+        name=name,
+        target=target if target is not None else cluster.placement.allocate_handle(),
+    )
+
+
+def run_to_completion(cluster, runner, limit: float = 120.0):
+    """Drive the simulator until ``runner`` (a Process) completes."""
+    deadline = cluster.sim.now + limit
+    while not runner.processed:
+        if cluster.sim.peek() > deadline:
+            raise AssertionError("runner did not complete within the limit")
+        cluster.sim.step()
+    return runner.value
+
+
+@pytest.fixture
+def helpers():
+    class Helpers:
+        make_create = staticmethod(make_create)
+        run_to_completion = staticmethod(run_to_completion)
+        ROOT = ROOT_HANDLE
+
+    return Helpers

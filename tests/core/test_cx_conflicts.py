@@ -1,0 +1,206 @@
+"""Cx conflict handling: ordered (Fig. 3a), disordered (Fig. 3b),
+blocked reads, same-process exemption."""
+
+import pytest
+
+from repro.cluster.builder import ROOT_HANDLE
+from repro.fs.ops import FileOperation, OpType
+from repro.net.message import MessageKind
+from repro.params import SimParams
+from tests.conftest import build_cluster, run_to_completion
+
+
+def pick_cross_link(cluster, parent, name, handle):
+    return cluster.placement.is_cross_server(parent, name, handle)
+
+
+def setup_shared_file(cluster, parent):
+    """A preloaded file whose links from two processes will conflict."""
+    return cluster.preload_file(parent, "shared")
+
+
+class TestSameProcessExemption:
+    def test_own_pending_objects_do_not_conflict(self):
+        """A process stats the file it just created: no conflict, no
+        immediate commitment (paper §III.B's synchronous-process rule)."""
+        cluster = build_cluster("cx", params=SimParams(commit_timeout=60.0))
+        d = cluster.preload_dir(ROOT_HANDLE, "dir")
+        proc = cluster.client_process(0, 0)
+        h = cluster.placement.allocate_handle()
+        ops = [
+            FileOperation(OpType.CREATE, proc.new_op_id(), parent=d, name="mine", target=h),
+            FileOperation(OpType.STAT, proc.new_op_id(), target=h),
+            FileOperation(OpType.LINK, proc.new_op_id(), parent=d, name="mine2", target=h),
+        ]
+        runner = cluster.run_ops(proc, ops)
+        results = run_to_completion(cluster, runner)
+        assert all(r.ok for r in results)
+        assert not any(r.conflicted for r in results)
+        assert cluster.network.stats.count(MessageKind.VOTE) == 0
+
+
+class TestOrderedConflict:
+    """Fig. 3(a): another process touches an active object; the access
+    blocks, an immediate commitment runs, then the access proceeds."""
+
+    def _run(self):
+        cluster = build_cluster("cx", params=SimParams(commit_timeout=60.0))
+        d = cluster.preload_dir(ROOT_HANDLE, "dir")
+        shared = setup_shared_file(cluster, d)
+        pa = cluster.client_process(0, 0)
+        pb = cluster.client_process(1, 0)
+        # A links the shared file (cross-server, leaves it active);
+        # B stats it while the link is pending -> conflict.
+        for i in range(128):
+            name = f"la{i}"
+            if pick_cross_link(cluster, d, name, shared):
+                break
+        op_a = FileOperation(OpType.LINK, pa.new_op_id(), parent=d, name=name, target=shared)
+        op_b = FileOperation(OpType.STAT, pb.new_op_id(), target=shared)
+        ra = cluster.run_ops(pa, [op_a])
+
+        def delayed_b():
+            yield cluster.sim.timeout(0.002)  # after A executed, before commit
+            res = yield from pb.perform(op_b)
+            return res
+
+        rb = cluster.sim.process(delayed_b())
+        run_to_completion(cluster, ra)
+        res_b = run_to_completion(cluster, rb)
+        return cluster, op_a, res_b
+
+    def test_read_blocks_and_conflicts(self):
+        cluster, op_a, res_b = self._run()
+        assert res_b.ok
+        assert res_b.conflicted
+
+    def test_immediate_commitment_launched(self):
+        cluster, op_a, _res_b = self._run()
+        immediate = sum(s.role.commit_mgr.immediate_commits for s in cluster.servers)
+        assert immediate >= 1
+        # A is committed well before the 60 s timer could have fired.
+        assert cluster.sim.now < 1.0
+        for s in cluster.servers:
+            if op_a.op_id in s.role.completed:
+                assert s.role.completed[op_a.op_id]["committed"]
+                break
+        else:
+            pytest.fail("op A never committed")
+
+    def test_read_sees_committed_value(self):
+        _cluster, op_a, res_b = self._run()
+        # The stat observed the post-link inode (nlink = 2).
+        assert res_b.value.nlink == 2
+
+
+class TestDisorderedConflict:
+    """Fig. 3(b): the two servers saw A and B in opposite orders; the
+    participant must invalidate B's execution, run A first, and let B's
+    re-execution supersede its earlier response."""
+
+    def _run(self):
+        cluster = build_cluster("cx", params=SimParams(commit_timeout=60.0))
+        d = cluster.preload_dir(ROOT_HANDLE, "dir")
+        shared = setup_shared_file(cluster, d)
+        # A and B: two links of the SAME name to the SAME inode — they
+        # share both the coordinator (dirent hash) and the participant.
+        for i in range(128):
+            name = f"x{i}"
+            if pick_cross_link(cluster, d, name, shared):
+                break
+        pa = cluster.client_process(0, 0)
+        pb = cluster.client_process(1, 0)
+        op_a = FileOperation(OpType.LINK, pa.new_op_id(), parent=d, name=name, target=shared)
+        op_b = FileOperation(OpType.LINK, pb.new_op_id(), parent=d, name=name, target=shared)
+
+        coord = cluster.placement.dirent_server(d, name)
+        part = cluster.placement.inode_server(shared)
+        part_node = cluster.server_id(part)
+
+        # Shim the network: A's request to the participant is delayed, so
+        # the participant sees B first (disorder) while the coordinator
+        # sees A first.
+        net = cluster.network
+        orig_delay = net.delay_for
+
+        def delay_for(msg):
+            base = orig_delay(msg)
+            if (msg.kind is MessageKind.REQ
+                    and msg.payload.get("op_id") == op_a.op_id
+                    and msg.dst == part_node):
+                return base + 0.003
+            return base
+
+        net.delay_for = delay_for
+
+        ra = cluster.run_ops(pa, [op_a])
+
+        def delayed_b():
+            yield cluster.sim.timeout(0.001)  # B starts after A
+            res = yield from pb.perform(op_b)
+            return res
+
+        rb = cluster.sim.process(delayed_b())
+        res_a = run_to_completion(cluster, ra)[0]
+        res_b = run_to_completion(cluster, rb)
+        return cluster, (op_a, res_a), (op_b, res_b), coord, part
+
+    def test_invalidation_happened(self):
+        cluster, _a, _b, _coord, part = self._run()
+        assert cluster.servers[part].role.participant.invalidations == 1
+
+    def test_coordinator_order_wins(self):
+        """A (first at the coordinator) commits; B aborts with EEXIST."""
+        cluster, (op_a, res_a), (op_b, res_b), coord, part = self._run()
+        assert res_a.ok
+        assert not res_b.ok
+        assert res_b.errno == "EEXIST"
+
+    def test_b_saw_conflict_and_terminated(self):
+        _cluster, _a, (op_b, res_b), _coord, _part = self._run()
+        assert res_b.conflicted
+
+    def test_final_state_consistent(self):
+        from repro.analysis.consistency import check_namespace_invariants
+        from repro.fs.objects import inode_key
+
+        cluster, (op_a, _ra), (_op_b, _rb), _coord, part = self._run()
+        cluster.quiesce_protocol()
+        # Exactly one link went through: nlink == 2.
+        inode = cluster.servers[part].kv.get(inode_key(op_a.target))
+        assert inode.nlink == 2
+        assert check_namespace_invariants(cluster) == []
+
+    def test_invalidated_result_record_ignored(self):
+        """The invalidated Result-Record must not resurface in the log
+        index as a valid record."""
+        cluster, _a, (op_b, _rb), _coord, part = self._run()
+        wal = cluster.servers[part].wal
+        # B's records were pruned after its abort; nothing valid remains.
+        assert all(r.invalid or r.rtype != "RESULT"
+                   for r in wal.records_of(op_b.op_id))
+
+
+class TestConflictCascade:
+    def test_three_processes_on_one_file_all_terminate(self):
+        cluster = build_cluster("cx", num_clients=3,
+                                params=SimParams(commit_timeout=60.0))
+        d = cluster.preload_dir(ROOT_HANDLE, "dir")
+        shared = setup_shared_file(cluster, d)
+        runners = []
+        for c in range(3):
+            proc = cluster.client_process(c, 0)
+            ops = [FileOperation(OpType.LINK, proc.new_op_id(), parent=d,
+                                 name=f"c{c}-l{i}", target=shared)
+                   for i in range(5)]
+            runners.append(cluster.run_ops(proc, ops))
+        all_results = [run_to_completion(cluster, r) for r in runners]
+        assert all(r.ok for rs in all_results for r in rs)
+        cluster.quiesce_protocol()
+        from repro.analysis.consistency import check_namespace_invariants
+        from repro.fs.objects import inode_key
+
+        inode = cluster.servers[cluster.placement.inode_server(shared)].kv.get(
+            inode_key(shared))
+        assert inode.nlink == 16  # 1 + 15 links
+        assert check_namespace_invariants(cluster) == []

@@ -1,0 +1,87 @@
+"""Unit tests for the commitment triggers."""
+
+import pytest
+
+from repro.core.triggers import CommitTriggers
+from repro.sim import Simulator
+
+
+class TestValidation:
+    def test_bad_timeout(self, sim):
+        with pytest.raises(ValueError):
+            CommitTriggers(sim, lambda r: None, timeout=0, threshold=None)
+
+    def test_bad_threshold(self, sim):
+        with pytest.raises(ValueError):
+            CommitTriggers(sim, lambda r: None, timeout=None, threshold=0)
+
+
+class TestTimeoutTrigger:
+    def test_fires_periodically(self, sim):
+        fires = []
+        t = CommitTriggers(sim, lambda r: fires.append(sim.now), timeout=1.0, threshold=None)
+        t.start()
+        sim.run(until=3.5)
+        assert fires == [1.0, 2.0, 3.0]
+        assert t.timeout_fires == 3
+
+    def test_stop_halts_timer(self, sim):
+        fires = []
+        t = CommitTriggers(sim, lambda r: fires.append(sim.now), timeout=1.0, threshold=None)
+        t.start()
+        sim.run(until=1.5)
+        t.stop()
+        sim.run(until=5.0)
+        assert fires == [1.0]
+
+    def test_start_is_idempotent(self, sim):
+        fires = []
+        t = CommitTriggers(sim, lambda r: fires.append(sim.now), timeout=1.0, threshold=None)
+        t.start()
+        t.start()
+        sim.run(until=1.5)
+        assert fires == [1.0]
+
+    def test_restart_after_stop(self, sim):
+        fires = []
+        t = CommitTriggers(sim, lambda r: fires.append(sim.now), timeout=1.0, threshold=None)
+        t.start()
+        sim.run(until=1.5)
+        t.stop()
+        sim.run(until=3.0)
+        t.start()
+        sim.run(until=4.5)
+        assert fires == [1.0, 4.0]
+
+    def test_disabled_timeout(self, sim):
+        fires = []
+        t = CommitTriggers(sim, lambda r: fires.append(1), timeout=None, threshold=None)
+        t.start()
+        sim.run(until=10)
+        assert fires == []
+
+
+class TestThresholdTrigger:
+    def test_fires_at_threshold(self, sim):
+        fires = []
+        t = CommitTriggers(sim, lambda r: fires.append(r), timeout=None, threshold=5)
+        for n in range(1, 5):
+            t.notify_pending(n)
+        assert fires == []
+        t.notify_pending(5)
+        assert fires == ["threshold"]
+        assert t.threshold_fires == 1
+
+    def test_disabled_threshold(self, sim):
+        fires = []
+        t = CommitTriggers(sim, lambda r: fires.append(r), timeout=None, threshold=None)
+        t.notify_pending(10_000)
+        assert fires == []
+
+    def test_both_triggers_coexist(self, sim):
+        fires = []
+        t = CommitTriggers(sim, lambda r: fires.append(r), timeout=2.0, threshold=3)
+        t.start()
+        t.notify_pending(3)
+        sim.run(until=2.5)
+        assert fires == ["threshold", "timeout"]

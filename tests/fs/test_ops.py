@@ -1,0 +1,146 @@
+"""Unit tests for operation planning: the Table I split."""
+
+import pytest
+
+from repro.fs import (
+    FileOperation,
+    OpType,
+    PlacementPolicy,
+    SubOpAction,
+    split_operation,
+)
+from repro.fs.ops import TABLE1_SPLIT
+
+
+@pytest.fixture
+def placement():
+    return PlacementPolicy(8)
+
+
+def op(op_type, placement, name="f", parent=0, target=None, **kw):
+    if target is None and op_type not in (OpType.LOOKUP, OpType.READDIR):
+        target = placement.allocate_handle()
+    return FileOperation(op_type, (1, 1, 1), parent=parent, name=name, target=target)
+
+
+class TestTable1:
+    """The coordinator/participant action split follows Table I."""
+
+    def test_create_split(self):
+        coord, part = TABLE1_SPLIT[OpType.CREATE]
+        assert coord == (SubOpAction.INSERT_ENTRY,)
+        assert part == (SubOpAction.ADD_INODE,)
+
+    def test_remove_split(self):
+        coord, part = TABLE1_SPLIT[OpType.REMOVE]
+        assert coord == (SubOpAction.REMOVE_ENTRY,)
+        assert part == (SubOpAction.DEC_NLINK_FREE,)
+
+    def test_mkdir_split(self):
+        coord, part = TABLE1_SPLIT[OpType.MKDIR]
+        assert coord == (SubOpAction.INSERT_ENTRY,)
+        assert part == (SubOpAction.ADD_DIR_INODE,)
+
+    def test_rmdir_split(self):
+        coord, part = TABLE1_SPLIT[OpType.RMDIR]
+        assert part == (SubOpAction.FREE_DIR_INODE,)
+
+    def test_link_split(self):
+        coord, part = TABLE1_SPLIT[OpType.LINK]
+        assert coord == (SubOpAction.INSERT_ENTRY,)
+        assert part == (SubOpAction.INC_NLINK,)
+
+    def test_unlink_split(self):
+        coord, part = TABLE1_SPLIT[OpType.UNLINK]
+        assert coord == (SubOpAction.REMOVE_ENTRY,)
+        assert part == (SubOpAction.DEC_NLINK_FREE,)
+
+
+class TestPlanning:
+    def test_cross_server_plan(self, placement):
+        # Find a name whose dirent server differs from the inode server.
+        for i in range(64):
+            target = placement.allocate_handle()
+            name = f"f{i}"
+            if placement.dirent_server(0, name) != placement.inode_server(target):
+                break
+        plan = split_operation(
+            FileOperation(OpType.CREATE, (1, 1, 1), parent=0, name=name, target=target),
+            placement,
+        )
+        assert plan.cross_server
+        assert plan.coord_subop.role == "coord"
+        assert plan.part_subop.role == "part"
+        assert plan.coordinator == placement.dirent_server(0, name)
+        assert plan.participant == placement.inode_server(target)
+        assert len(plan.subops) == 2
+
+    def test_colocated_plan_is_single(self, placement):
+        for i in range(256):
+            target = placement.allocate_handle()
+            name = f"g{i}"
+            if placement.dirent_server(0, name) == placement.inode_server(target):
+                break
+        plan = split_operation(
+            FileOperation(OpType.CREATE, (1, 1, 1), parent=0, name=name, target=target),
+            placement,
+        )
+        assert not plan.cross_server
+        assert plan.coord_subop.role == "single"
+        # single sub-op bundles both halves
+        assert SubOpAction.INSERT_ENTRY in plan.coord_subop.actions
+        assert SubOpAction.ADD_INODE in plan.coord_subop.actions
+
+    def test_stat_is_single_server_readonly(self, placement):
+        target = placement.allocate_handle()
+        plan = split_operation(
+            FileOperation(OpType.STAT, (1, 1, 1), target=target), placement
+        )
+        assert not plan.cross_server
+        assert plan.coord_subop.is_readonly
+        assert plan.coordinator == placement.inode_server(target)
+
+    def test_lookup_goes_to_dirent_server(self, placement):
+        plan = split_operation(
+            FileOperation(OpType.LOOKUP, (1, 1, 1), parent=0, name="x"), placement
+        )
+        assert plan.coordinator == placement.dirent_server(0, "x")
+        assert plan.coord_subop.is_readonly
+
+    def test_setattr_is_single_server_update(self, placement):
+        target = placement.allocate_handle()
+        plan = split_operation(
+            FileOperation(OpType.SETATTR, (1, 1, 1), target=target), placement
+        )
+        assert not plan.cross_server
+        assert not plan.coord_subop.is_readonly
+
+    def test_readonly_flag(self, placement):
+        target = placement.allocate_handle()
+        stat_plan = split_operation(
+            FileOperation(OpType.STAT, (1, 1, 1), target=target), placement
+        )
+        create_plan = split_operation(
+            FileOperation(OpType.CREATE, (1, 1, 1), parent=0, name="c", target=target),
+            placement,
+        )
+        assert stat_plan.coord_subop.is_readonly
+        assert not create_plan.coord_subop.is_readonly
+
+
+class TestValidation:
+    def test_create_needs_name(self):
+        with pytest.raises(ValueError):
+            FileOperation(OpType.CREATE, (1, 1, 1), parent=0, target=5)
+
+    def test_create_needs_parent(self):
+        with pytest.raises(ValueError):
+            FileOperation(OpType.CREATE, (1, 1, 1), name="x", target=5)
+
+    def test_stat_needs_target(self):
+        with pytest.raises(ValueError):
+            FileOperation(OpType.STAT, (1, 1, 1))
+
+    def test_lookup_needs_parent(self):
+        with pytest.raises(ValueError):
+            FileOperation(OpType.LOOKUP, (1, 1, 1), name="x")

@@ -1,0 +1,69 @@
+"""Unit tests for the placement policy."""
+
+import random
+
+import pytest
+
+from repro.fs import PlacementPolicy
+
+
+class TestPlacement:
+    def test_needs_servers(self):
+        with pytest.raises(ValueError):
+            PlacementPolicy(0)
+
+    def test_dirent_placement_deterministic(self):
+        p1 = PlacementPolicy(8)
+        p2 = PlacementPolicy(8)
+        for name in ["a", "b", "file.txt"]:
+            assert p1.dirent_server(0, name) == p2.dirent_server(0, name)
+
+    def test_dirent_placement_spreads(self):
+        p = PlacementPolicy(8)
+        servers = {p.dirent_server(0, f"f{i}") for i in range(200)}
+        assert servers == set(range(8))
+
+    def test_inode_server_encoded_in_handle(self):
+        p = PlacementPolicy(8)
+        for _ in range(50):
+            h = p.allocate_handle()
+            assert p.inode_server(h) == h % 8
+
+    def test_allocate_on_specific_server(self):
+        p = PlacementPolicy(8)
+        h = p.allocate_handle(server=3)
+        assert p.inode_server(h) == 3
+
+    def test_allocate_server_out_of_range(self):
+        p = PlacementPolicy(4)
+        with pytest.raises(ValueError):
+            p.allocate_handle(server=4)
+
+    def test_handles_unique(self):
+        p = PlacementPolicy(8)
+        handles = [p.allocate_handle() for _ in range(1000)]
+        assert len(set(handles)) == 1000
+
+    def test_random_placement_seeded(self):
+        p1 = PlacementPolicy(8, random.Random(5))
+        p2 = PlacementPolicy(8, random.Random(5))
+        assert [p1.allocate_handle() for _ in range(20)] == [
+            p2.allocate_handle() for _ in range(20)
+        ]
+
+    def test_cross_server_fraction_matches_expectation(self):
+        """With random inode placement, ~ (N-1)/N of entry+inode pairs
+        land on different servers (the paper's cross-server case)."""
+        p = PlacementPolicy(8, random.Random(1))
+        cross = 0
+        n = 4000
+        for i in range(n):
+            h = p.allocate_handle()
+            if p.is_cross_server(0, f"name{i}", h):
+                cross += 1
+        assert cross / n == pytest.approx(7 / 8, abs=0.03)
+
+    def test_single_server_never_cross(self):
+        p = PlacementPolicy(1)
+        h = p.allocate_handle()
+        assert not p.is_cross_server(0, "x", h)

@@ -1,0 +1,76 @@
+"""Micro-scale smoke tests of the experiment harness.
+
+The real experiments replay ~10k operations; these shrink everything so
+the plumbing (runners, result objects, rendering) stays covered by the
+regular test suite.
+"""
+
+import pytest
+
+from repro.experiments import (
+    run_fig4,
+    run_fig5,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.experiments.common import (
+    TRACE_SCALES,
+    build_trace_cluster,
+    experiment_params,
+    run_trace_protocol,
+)
+
+
+class TestCommon:
+    def test_build_trace_cluster_shape(self):
+        cluster = build_trace_cluster("cx", seed=1)
+        assert len(cluster.servers) == 8
+        assert len(cluster.all_processes()) == 32
+        assert cluster.params.commit_timeout == pytest.approx(0.25)
+
+    def test_experiment_params_overrides(self):
+        p = experiment_params(commit_timeout=1.0, log_capacity=None)
+        assert p.commit_timeout == 1.0 and p.log_capacity is None
+
+    def test_run_trace_protocol_micro(self):
+        res = run_trace_protocol("CTH", "cx", scale=0.0005, seed=1)
+        assert res.total_ops > 0
+        assert res.failed_ops == 0
+        assert res.protocol == "cx"
+
+    def test_scales_cover_all_traces(self):
+        from repro.workloads import TRACE_SPECS
+
+        assert set(TRACE_SCALES) == set(TRACE_SPECS)
+
+
+class TestSpecExperiments:
+    def test_table1_rows(self):
+        result = run_table1()
+        assert len(result.rows) == 6
+        assert "insert_entry" in result.text
+
+    def test_table3_rows(self):
+        result = run_table3()
+        assert {r["message"] for r in result.rows} >= {"VOTE", "ALL-NO"}
+
+
+class TestScaledExperiments:
+    def test_table2_micro(self):
+        result = run_table2(traces=["CTH"], seed=1)
+        (row,) = result.rows
+        assert row["trace"] == "CTH"
+        assert row["measured_conflict_ratio"] >= 0
+
+    def test_fig4_micro(self):
+        result = run_fig4(traces=["s3d"], seed=1)
+        (row,) = result.rows
+        assert row["create"] > 0.2
+        assert abs(sum(row[k] for k in row if k not in ("trace", "total")) - 1.0) < 1e-6
+
+    def test_fig5_micro_single_trace(self):
+        result = run_fig5(traces=["CTH"], seed=1)
+        (row,) = result.rows
+        assert row["cx_vs_ofs"] > 0.2
+        assert row["ofs_time"] > row["cx_time"]

@@ -1,0 +1,245 @@
+"""Property-based tests (hypothesis) on core data structures and
+protocol invariants."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.hints import ResponseHint, settled
+from repro.fs.ops import FileOperation, OpType
+from repro.params import SimParams
+from repro.sim import Simulator
+from repro.storage import Disk, Extent, KVStore, LogRecord, WriteAheadLog, merge_extents
+from repro.storage.iosched import merge_ratio
+
+# ---------------------------------------------------------------- extents
+
+extent_st = st.builds(
+    Extent,
+    offset=st.integers(min_value=0, max_value=10**7),
+    nbytes=st.integers(min_value=1, max_value=10**5),
+)
+
+
+class TestMergeProperties:
+    @given(st.lists(extent_st, max_size=40), st.integers(0, 10**5))
+    def test_merge_never_increases_count(self, extents, gap):
+        assert len(merge_extents(extents, gap)) <= len(extents)
+
+    @given(st.lists(extent_st, max_size=40), st.integers(0, 10**5))
+    def test_merged_output_sorted_and_disjoint(self, extents, gap):
+        merged = merge_extents(extents, gap)
+        for a, b in zip(merged, merged[1:]):
+            assert a.offset <= b.offset
+            assert b.offset - a.end > gap  # gaps above the window remain
+
+    @given(st.lists(extent_st, max_size=40), st.integers(0, 10**5))
+    def test_merge_covers_all_input(self, extents, gap):
+        merged = merge_extents(extents, gap)
+        for ext in extents:
+            assert any(m.offset <= ext.offset and m.end >= ext.end for m in merged)
+
+    @given(st.lists(extent_st, max_size=40))
+    def test_wider_gap_merges_no_less(self, extents):
+        _b1, narrow = merge_ratio(extents, 0)
+        _b2, wide = merge_ratio(extents, 10**6)
+        assert wide <= narrow
+
+
+# -------------------------------------------------------------------- wal
+
+
+class TestWalProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.sampled_from(["RESULT", "COMMIT"]),
+                      st.integers(1, 512)),
+            max_size=30,
+        ),
+        st.lists(st.integers(0, 5), max_size=10),
+    )
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_valid_bytes_matches_index(self, appends, prunes):
+        sim = Simulator()
+        params = SimParams()
+        wal = WriteAheadLog(sim, Disk(sim, params), params)
+        for seq, rtype, size in appends:
+            wal.append(LogRecord((1, 1, seq), rtype, size=size))
+        sim.run()
+        for seq in prunes:
+            wal.prune_op((1, 1, seq))
+        expected = sum(
+            r.size for op in wal.ops_in_log() for r in wal.records_of(op)
+        )
+        assert wal.valid_bytes == expected
+        assert wal.valid_bytes >= 0
+
+    @given(st.lists(st.integers(1, 200), min_size=1, max_size=30))
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_capacity_never_exceeded(self, sizes):
+        sim = Simulator()
+        params = SimParams()
+        cap = 1000
+        wal = WriteAheadLog(sim, Disk(sim, params), params, capacity=cap)
+        for i, size in enumerate(sizes):
+            wal.append(LogRecord((1, 1, i), "RESULT", size=size))
+            assert wal.valid_bytes <= cap
+        sim.run()
+        assert wal.valid_bytes <= cap
+
+
+# ---------------------------------------------------------------- kvstore
+
+
+class TestKVStoreProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["sync", "deferred", "delete", "flush"]),
+                st.integers(0, 8),
+                st.integers(0, 100),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_store_matches_dict_model(self, script):
+        """The KV store's memory-visible view behaves like a plain dict."""
+        sim = Simulator()
+        params = SimParams()
+        kv = KVStore(sim, Disk(sim, params), params)
+        model = {}
+        for action, key, value in script:
+            if action == "sync":
+                kv.put_sync(key, value)
+                model[key] = value
+            elif action == "deferred":
+                kv.put_deferred(key, value)
+                model[key] = value
+            elif action == "delete":
+                kv.delete_deferred(key)
+                model.pop(key, None)
+            else:
+                kv.flush()
+            for k, v in model.items():
+                assert kv.get(k) == v
+        sim.run()
+        kv.flush()
+        sim.run()
+        assert dict(kv.durable_items()) == model
+
+
+# -------------------------------------------------------------- namespace
+
+
+class TestNamespaceProperties:
+    @given(st.data())
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow],
+              deadline=None)
+    def test_execute_undo_roundtrip(self, data):
+        """Any successful sub-op followed by its undo restores the
+        exact prior store contents."""
+        from repro.fs import NamespaceShard, OpType as OT, SubOp, SubOpAction
+
+        sim = Simulator()
+        params = SimParams()
+        kv = KVStore(sim, Disk(sim, params), params)
+        shard = NamespaceShard(kv, 0)
+
+        # Seed some state.
+        n_seed = data.draw(st.integers(0, 5))
+        for i in range(n_seed):
+            res = shard.execute(
+                SubOp((1, 1, i), OT.CREATE, "single", 0,
+                      (SubOpAction.INSERT_ENTRY, SubOpAction.ADD_INODE),
+                      {"parent": 1, "name": f"seed{i}", "target": 100 + i,
+                       "is_dir": False}),
+                0.0,
+            )
+            shard.apply_deferred(res.updates)
+
+        action = data.draw(st.sampled_from([
+            SubOpAction.INSERT_ENTRY, SubOpAction.REMOVE_ENTRY,
+            SubOpAction.ADD_INODE, SubOpAction.INC_NLINK,
+            SubOpAction.DEC_NLINK_FREE, SubOpAction.WRITE_INODE,
+        ]))
+        target = data.draw(st.integers(98, 100 + n_seed + 1))
+        name = data.draw(st.sampled_from(
+            [f"seed{i}" for i in range(max(1, n_seed))] + ["fresh"]))
+        before = dict(kv.items())
+        res = shard.execute(
+            SubOp((9, 9, 9), OT.CREATE, "single", 0, (action,),
+                  {"parent": 1, "name": name, "target": target, "is_dir": False}),
+            1.0,
+        )
+        if res.ok:
+            shard.apply_deferred(res.updates)
+            shard.apply_deferred(res.undo)
+        assert dict(kv.items()) == before
+
+
+# ------------------------------------------------------------------ hints
+
+hint_st = st.builds(
+    ResponseHint,
+    hint=st.one_of(st.none(), st.tuples(st.integers(0, 3), st.just(0), st.integers(1, 3))),
+    hint_covers_other=st.booleans(),
+    saw_commits=st.lists(
+        st.tuples(st.integers(0, 3), st.just(0), st.integers(1, 3)), max_size=3
+    ).map(tuple),
+)
+
+
+class TestHintProperties:
+    @given(hint_st, hint_st)
+    def test_settled_is_symmetric(self, h1, h2):
+        assert settled(h1, h2) == settled(h2, h1)
+
+    @given(hint_st)
+    def test_equal_hints_always_settle(self, h):
+        assert settled(h, h)
+
+    @given(hint_st, hint_st)
+    def test_null_uncovering_hints_settle(self, h1, h2):
+        h1 = ResponseHint(None, False, h1.saw_commits)
+        h2 = ResponseHint(h2.hint, False, h2.saw_commits)
+        assert settled(h1, h2)
+
+
+# ------------------------------------------------------ end-to-end random
+
+
+class TestProtocolRandomWorkloads:
+    @given(seed=st.integers(0, 2**16), nfiles=st.integers(1, 4))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_cx_random_contention_always_consistent(self, seed, nfiles):
+        """Random concurrent link/stat/unlink storms on a tiny shared
+        pool terminate and leave a referentially-intact namespace."""
+        import random
+
+        from repro.analysis.consistency import check_namespace_invariants
+        from repro.cluster.builder import ROOT_HANDLE
+        from tests.conftest import build_cluster, run_to_completion
+
+        rng = random.Random(seed)
+        cluster = build_cluster("cx", num_servers=3, num_clients=2, seed=seed)
+        d = cluster.preload_dir(ROOT_HANDLE, "dir")
+        pool = cluster.preload_files(d, [f"s{i}" for i in range(nfiles)])
+        runners = []
+        for c in range(2):
+            proc = cluster.client_process(c, 0)
+            ops = []
+            for i in range(8):
+                kind = rng.choice(["link", "stat"])
+                target = rng.choice(pool)
+                if kind == "link":
+                    ops.append(FileOperation(OpType.LINK, proc.new_op_id(),
+                                             parent=d, name=f"c{c}i{i}", target=target))
+                else:
+                    ops.append(FileOperation(OpType.STAT, proc.new_op_id(),
+                                             target=target))
+            runners.append(cluster.run_ops(proc, ops))
+        for r in runners:
+            run_to_completion(cluster, r, limit=300)
+        cluster.quiesce_protocol()
+        assert check_namespace_invariants(cluster, known_dirs=[d]) == []

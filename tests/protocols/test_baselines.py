@@ -1,0 +1,232 @@
+"""Behavioural tests common to all four baseline protocols.
+
+Each protocol must produce the same namespace effects for the same
+operations — they differ in choreography and cost, not semantics.
+"""
+
+import pytest
+
+from repro.cluster.builder import ROOT_HANDLE
+from repro.fs.ops import FileOperation, OpType
+from tests.conftest import build_cluster, run_to_completion
+
+BASELINES = ["ofs", "ofs-batched", "2pc", "ce"]
+ALL_PROTOCOLS = BASELINES + ["cx"]
+
+
+def ops_scenario(cluster, proc, parent):
+    """create 3 files, stat one, link one, remove one."""
+    h = [cluster.placement.allocate_handle() for _ in range(3)]
+    return [
+        FileOperation(OpType.CREATE, proc.new_op_id(), parent=parent, name="f0", target=h[0]),
+        FileOperation(OpType.CREATE, proc.new_op_id(), parent=parent, name="f1", target=h[1]),
+        FileOperation(OpType.CREATE, proc.new_op_id(), parent=parent, name="f2", target=h[2]),
+        FileOperation(OpType.STAT, proc.new_op_id(), target=h[0]),
+        FileOperation(OpType.LINK, proc.new_op_id(), parent=parent, name="l0", target=h[0]),
+        FileOperation(OpType.REMOVE, proc.new_op_id(), parent=parent, name="f1", target=h[1]),
+        FileOperation(OpType.LOOKUP, proc.new_op_id(), parent=parent, name="f2"),
+    ]
+
+
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+class TestCommonSemantics:
+    def test_basic_scenario_succeeds(self, protocol):
+        cluster = build_cluster(protocol)
+        d = cluster.preload_dir(ROOT_HANDLE, "dir")
+        proc = cluster.client_process(0, 0)
+        ops = ops_scenario(cluster, proc, d)
+        runner = cluster.run_ops(proc, ops)
+        results = run_to_completion(cluster, runner)
+        assert all(r.ok for r in results)
+
+    def test_duplicate_create_fails_eexist(self, protocol):
+        cluster = build_cluster(protocol)
+        d = cluster.preload_dir(ROOT_HANDLE, "dir")
+        proc = cluster.client_process(0, 0)
+        name = "dup"
+        op1 = FileOperation(OpType.CREATE, proc.new_op_id(), parent=d, name=name,
+                            target=cluster.placement.allocate_handle())
+        op2 = FileOperation(OpType.CREATE, proc.new_op_id(), parent=d, name=name,
+                            target=cluster.placement.allocate_handle())
+        runner = cluster.run_ops(proc, [op1, op2])
+        r1, r2 = run_to_completion(cluster, runner)
+        assert r1.ok
+        assert not r2.ok
+        assert r2.errno == "EEXIST"
+
+    def test_failed_create_leaves_no_orphan_inode(self, protocol):
+        """Atomicity: the duplicate create's inode sub-op must not
+        survive the abort."""
+        cluster = build_cluster(protocol)
+        d = cluster.preload_dir(ROOT_HANDLE, "dir")
+        proc = cluster.client_process(0, 0)
+        name = "dup"
+        h1 = cluster.placement.allocate_handle()
+        h2 = cluster.placement.allocate_handle()
+        op1 = FileOperation(OpType.CREATE, proc.new_op_id(), parent=d, name=name, target=h1)
+        op2 = FileOperation(OpType.CREATE, proc.new_op_id(), parent=d, name=name, target=h2)
+        runner = cluster.run_ops(proc, [op1, op2])
+        run_to_completion(cluster, runner)
+        cluster.quiesce_protocol()
+        from repro.fs.objects import inode_key
+
+        server = cluster.servers[cluster.placement.inode_server(h2)]
+        assert server.kv.get(inode_key(h2)) is None
+
+    def test_remove_missing_enoent(self, protocol):
+        cluster = build_cluster(protocol)
+        d = cluster.preload_dir(ROOT_HANDLE, "dir")
+        proc = cluster.client_process(0, 0)
+        op = FileOperation(OpType.REMOVE, proc.new_op_id(), parent=d, name="ghost",
+                           target=cluster.placement.allocate_handle())
+        runner = cluster.run_ops(proc, [op])
+        (res,) = run_to_completion(cluster, runner)
+        assert not res.ok
+
+    def test_stat_preloaded_file(self, protocol):
+        cluster = build_cluster(protocol)
+        d = cluster.preload_dir(ROOT_HANDLE, "dir")
+        h = cluster.preload_file(d, "seed")
+        proc = cluster.client_process(0, 0)
+        op = FileOperation(OpType.STAT, proc.new_op_id(), target=h)
+        runner = cluster.run_ops(proc, [op])
+        (res,) = run_to_completion(cluster, runner)
+        assert res.ok
+        assert res.value.handle == h
+
+    def test_mkdir_rmdir_cycle(self, protocol):
+        cluster = build_cluster(protocol)
+        d = cluster.preload_dir(ROOT_HANDLE, "dir")
+        proc = cluster.client_process(0, 0)
+        h = cluster.placement.allocate_handle()
+        ops = [
+            FileOperation(OpType.MKDIR, proc.new_op_id(), parent=d, name="sub", target=h),
+            FileOperation(OpType.RMDIR, proc.new_op_id(), parent=d, name="sub", target=h),
+        ]
+        runner = cluster.run_ops(proc, ops)
+        r1, r2 = run_to_completion(cluster, runner)
+        assert r1.ok and r2.ok
+
+    def test_namespace_consistent_after_mixed_run(self, protocol):
+        from repro.analysis.consistency import check_namespace_invariants
+
+        cluster = build_cluster(protocol, num_servers=5)
+        d = cluster.preload_dir(ROOT_HANDLE, "dir")
+        procs = [cluster.client_process(c, p) for c in range(2) for p in range(2)]
+        runners = []
+        for i, proc in enumerate(procs):
+            ops = []
+            for j in range(10):
+                ops.append(FileOperation(
+                    OpType.CREATE, proc.new_op_id(), parent=d, name=f"p{i}-{j}",
+                    target=cluster.placement.allocate_handle()))
+            runners.append(cluster.run_ops(proc, ops))
+        for r in runners:
+            run_to_completion(cluster, r)
+        cluster.quiesce_protocol()
+        assert check_namespace_invariants(cluster, known_dirs=[d]) == []
+
+
+class TestProtocolOrdering:
+    """The paper's Figure 1 cost ordering: 2PC and CE are the slow eager
+    protocols; SE is cheaper; batched and Cx cheaper still."""
+
+    def _latency(self, protocol):
+        cluster = build_cluster(protocol, num_servers=4)
+        d = cluster.preload_dir(ROOT_HANDLE, "dir")
+        proc = cluster.client_process(0, 0)
+        ops = [
+            FileOperation(OpType.CREATE, proc.new_op_id(), parent=d, name=f"f{i}",
+                          target=cluster.placement.allocate_handle())
+            for i in range(30)
+        ]
+        runner = cluster.run_ops(proc, ops)
+        run_to_completion(cluster, runner)
+        return cluster.metrics.mean_latency()
+
+    def test_figure1_cost_ordering(self):
+        lat = {p: self._latency(p) for p in ALL_PROTOCOLS}
+        assert lat["cx"] < lat["ofs-batched"] < lat["ofs"]
+        assert lat["ofs"] < lat["2pc"]
+        assert lat["ofs"] < lat["ce"]
+
+
+class TestSerialSpecifics:
+    def test_clear_message_on_coordinator_failure(self):
+        """SE: participant executed, coordinator failed -> CLEAR."""
+        from repro.net.message import MessageKind
+
+        cluster = build_cluster("ofs")
+        d = cluster.preload_dir(ROOT_HANDLE, "dir")
+        proc = cluster.client_process(0, 0)
+        # Find a cross-server create, run it, then re-run the same name
+        # with a *different* inode: the participant (fresh inode) will
+        # succeed, the coordinator (duplicate entry) will fail -> CLEAR.
+        for i in range(64):
+            name = f"n{i}"
+            h1 = cluster.placement.allocate_handle()
+            h2 = cluster.placement.allocate_handle()
+            if cluster.placement.is_cross_server(d, name, h2):
+                break
+        op1 = FileOperation(OpType.CREATE, proc.new_op_id(), parent=d, name=name, target=h1)
+        op2 = FileOperation(OpType.CREATE, proc.new_op_id(), parent=d, name=name, target=h2)
+        runner = cluster.run_ops(proc, [op1, op2])
+        r1, r2 = run_to_completion(cluster, runner)
+        assert r1.ok and not r2.ok
+        assert cluster.network.stats.count(MessageKind.CLEAR) == 1
+        # the orphan inode was withdrawn
+        from repro.fs.objects import inode_key
+
+        part = cluster.servers[cluster.placement.inode_server(h2)]
+        assert part.kv.get(inode_key(h2)) is None
+
+
+class TestTwoPCSpecifics:
+    def test_commit_messages_flow(self):
+        from repro.net.message import MessageKind
+
+        cluster = build_cluster("2pc")
+        d = cluster.preload_dir(ROOT_HANDLE, "dir")
+        proc = cluster.client_process(0, 0)
+        ops = []
+        for i in range(10):
+            ops.append(FileOperation(OpType.CREATE, proc.new_op_id(), parent=d,
+                                     name=f"f{i}", target=cluster.placement.allocate_handle()))
+        runner = cluster.run_ops(proc, ops)
+        results = run_to_completion(cluster, runner)
+        assert all(r.ok for r in results)
+        stats = cluster.network.stats
+        cross = cluster.metrics.cross_server_ops
+        # one VOTE and one COMMIT-REQ per cross-server operation
+        assert stats.count(MessageKind.VOTE) == cross
+        assert stats.count(MessageKind.COMMIT_REQ) == cross
+        assert stats.count(MessageKind.ACK) == cross
+
+    def test_logs_pruned_after_completion(self):
+        cluster = build_cluster("2pc")
+        d = cluster.preload_dir(ROOT_HANDLE, "dir")
+        proc = cluster.client_process(0, 0)
+        ops = [FileOperation(OpType.CREATE, proc.new_op_id(), parent=d, name=f"f{i}",
+                             target=cluster.placement.allocate_handle()) for i in range(8)]
+        runner = cluster.run_ops(proc, ops)
+        run_to_completion(cluster, runner)
+        for server in cluster.servers:
+            assert server.wal.valid_bytes == 0
+
+
+class TestCentralSpecifics:
+    def test_migration_messages_flow(self):
+        from repro.net.message import MessageKind
+
+        cluster = build_cluster("ce")
+        d = cluster.preload_dir(ROOT_HANDLE, "dir")
+        proc = cluster.client_process(0, 0)
+        ops = [FileOperation(OpType.CREATE, proc.new_op_id(), parent=d, name=f"f{i}",
+                             target=cluster.placement.allocate_handle()) for i in range(10)]
+        runner = cluster.run_ops(proc, ops)
+        results = run_to_completion(cluster, runner)
+        assert all(r.ok for r in results)
+        cross = cluster.metrics.cross_server_ops
+        stats = cluster.network.stats
+        assert stats.count(MessageKind.MIGRATE) == cross
+        assert stats.count(MessageKind.MIGRATE_BACK) == cross

@@ -1,0 +1,42 @@
+"""Unit tests for the deterministic RNG registry."""
+
+from repro.sim import RngRegistry
+
+
+class TestRngRegistry:
+    def test_same_seed_same_stream(self):
+        a = RngRegistry(42).stream("x")
+        b = RngRegistry(42).stream("x")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_names_independent(self):
+        reg = RngRegistry(42)
+        a = [reg.stream("a").random() for _ in range(5)]
+        b = [reg.stream("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(1).stream("x").random()
+        b = RngRegistry(2).stream("x").random()
+        assert a != b
+
+    def test_stream_is_cached(self):
+        reg = RngRegistry(0)
+        assert reg.stream("s") is reg.stream("s")
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        reg1 = RngRegistry(7)
+        s = reg1.stream("main")
+        first = s.random()
+        reg2 = RngRegistry(7)
+        reg2.stream("other")  # extra stream created first
+        assert reg2.stream("main").random() == first
+
+    def test_np_stream_reproducible(self):
+        a = RngRegistry(3).np_stream("n").normal(size=4)
+        b = RngRegistry(3).np_stream("n").normal(size=4)
+        assert (a == b).all()
+
+    def test_np_stream_cached(self):
+        reg = RngRegistry(0)
+        assert reg.np_stream("n") is reg.np_stream("n")

@@ -1,0 +1,61 @@
+"""Unit tests for IO-scheduler extent merging."""
+
+from repro.storage import Extent, merge_extents
+from repro.storage.iosched import merge_ratio
+
+
+class TestMergeExtents:
+    def test_empty(self):
+        assert merge_extents([], 4096) == []
+
+    def test_single(self):
+        assert merge_extents([Extent(10, 5)], 0) == [Extent(10, 5)]
+
+    def test_adjacent_merge(self):
+        merged = merge_extents([Extent(0, 100), Extent(100, 100)], 0)
+        assert merged == [Extent(0, 200)]
+
+    def test_gap_within_window_merges(self):
+        merged = merge_extents([Extent(0, 100), Extent(150, 100)], 64)
+        assert merged == [Extent(0, 250)]
+
+    def test_gap_beyond_window_stays_split(self):
+        merged = merge_extents([Extent(0, 100), Extent(200, 100)], 64)
+        assert len(merged) == 2
+
+    def test_unsorted_input_is_sorted(self):
+        merged = merge_extents([Extent(500, 10), Extent(0, 10)], 0)
+        assert [e.offset for e in merged] == [0, 500]
+
+    def test_overlapping_extents_merge(self):
+        merged = merge_extents([Extent(0, 100), Extent(50, 100)], 0)
+        assert merged == [Extent(0, 150)]
+
+    def test_contained_extent_absorbed(self):
+        merged = merge_extents([Extent(0, 1000), Extent(100, 10)], 0)
+        assert merged == [Extent(0, 1000)]
+
+    def test_chain_merge(self):
+        extents = [Extent(i * 100, 100) for i in range(10)]
+        assert merge_extents(extents, 0) == [Extent(0, 1000)]
+
+    def test_sequential_records_merge_fully(self):
+        """The Metarates effect: records laid out consecutively in one
+        directory collapse to a single disk request."""
+        extents = [Extent(i * 512, 512) for i in range(100)]
+        before, after = merge_ratio(extents, 16 * 1024)
+        assert before == 100
+        assert after == 1
+
+    def test_scattered_records_barely_merge(self):
+        extents = [Extent(i * 10 * 1024 * 1024, 512) for i in range(50)]
+        before, after = merge_ratio(extents, 16 * 1024)
+        assert after == 50
+
+    def test_merged_cover_all_input_bytes(self):
+        extents = [Extent(0, 10), Extent(5, 20), Extent(100, 1)]
+        merged = merge_extents(extents, 16)
+        for ext in extents:
+            assert any(
+                m.offset <= ext.offset and m.end >= ext.end for m in merged
+            )

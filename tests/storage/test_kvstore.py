@@ -1,0 +1,153 @@
+"""Unit tests for the KV store (BDB stand-in)."""
+
+import pytest
+
+from repro.storage import Disk, KVStore
+
+
+@pytest.fixture
+def kv(sim, params):
+    return KVStore(sim, Disk(sim, params), params)
+
+
+class TestReads:
+    def test_missing_key_default(self, kv):
+        assert kv.get("nope") is None
+        assert kv.get("nope", 7) == 7
+        assert "nope" not in kv
+
+    def test_len_empty(self, kv):
+        assert len(kv) == 0
+
+
+class TestSyncWrites:
+    def test_visible_immediately(self, sim, kv):
+        kv.put_sync("a", 1)
+        assert kv.get("a") == 1  # before the disk event fires
+
+    def test_durable_after_event(self, sim, kv):
+        ev = kv.put_sync("a", 1)
+        sim.run()
+        assert ev.processed
+        assert dict(kv.durable_items()) == {"a": 1}
+
+    def test_delete_sync(self, sim, kv):
+        kv.put_sync("a", 1)
+        sim.run()
+        kv.delete_sync("a")
+        assert kv.get("a") is None
+        sim.run()
+        assert dict(kv.durable_items()) == {}
+
+    def test_put_sync_many_single_request(self, sim, params, kv):
+        # Keys written in one txn get consecutive offsets -> one merged
+        # disk request.
+        kv.put_sync_many([("a", 1), ("b", 2), ("c", 3)])
+        sim.run()
+        assert kv.disk.stats.requests == 1
+        assert kv.get("b") == 2
+
+    def test_put_sync_many_with_deletes(self, sim, kv):
+        kv.put_sync_many([("a", 1)])
+        sim.run()
+        kv.put_sync_many([("a", None), ("b", 2)])
+        assert kv.get("a") is None
+        assert kv.get("b") == 2
+        sim.run()
+        assert dict(kv.durable_items()) == {"b": 2}
+
+    def test_empty_txn_rejected(self, kv):
+        with pytest.raises(ValueError):
+            kv.put_sync_many([])
+
+
+class TestDeferredWrites:
+    def test_visible_immediately_not_durable(self, sim, kv):
+        kv.put_deferred("a", 1)
+        assert kv.get("a") == 1
+        sim.run()
+        assert dict(kv.durable_items()) == {}
+
+    def test_flush_makes_durable(self, sim, kv):
+        kv.put_deferred("a", 1)
+        kv.put_deferred("b", 2)
+        ev = kv.flush()
+        sim.run()
+        assert ev.processed
+        assert dict(kv.durable_items()) == {"a": 1, "b": 2}
+        assert kv.dirty_count == 0
+
+    def test_flush_empty_returns_none(self, kv):
+        assert kv.flush() is None
+
+    def test_flush_keys_partial(self, sim, kv):
+        kv.put_deferred("a", 1)
+        kv.put_deferred("b", 2)
+        ev = kv.flush_keys(["a"])
+        sim.run()
+        assert ev.processed
+        assert dict(kv.durable_items()) == {"a": 1}
+        assert kv.dirty_count == 1
+
+    def test_flush_keys_unknown_returns_none(self, kv):
+        assert kv.flush_keys(["zzz"]) is None
+
+    def test_flush_merges_sequential_records(self, sim, params, kv):
+        for i in range(50):
+            kv.put_deferred(("file", i), i)
+        kv.flush()
+        sim.run()
+        assert kv.flushed_requests == 1  # fully merged
+        assert kv.flushed_records == 50
+
+    def test_delete_deferred(self, sim, kv):
+        kv.put_sync("a", 1)
+        sim.run()
+        kv.delete_deferred("a")
+        assert kv.get("a") is None
+        kv.flush()
+        sim.run()
+        assert dict(kv.durable_items()) == {}
+
+    def test_redirty_during_flush_survives(self, sim, kv):
+        kv.put_deferred("a", 1)
+        kv.flush()
+        kv.put_deferred("a", 2)  # re-dirtied while flush in flight
+        sim.run()
+        assert kv.get("a") == 2
+        kv.flush()
+        sim.run()
+        assert dict(kv.durable_items())["a"] == 2
+
+
+class TestCrash:
+    def test_deferred_lost_on_crash(self, sim, kv):
+        kv.put_sync("stable", 1)
+        sim.run()
+        kv.put_deferred("volatile", 2)
+        kv.crash()
+        assert kv.get("volatile") is None
+        assert kv.get("stable") == 1
+
+    def test_items_merges_overlay_and_durable(self, sim, kv):
+        kv.put_sync("a", 1)
+        sim.run()
+        kv.put_deferred("b", 2)
+        kv.delete_deferred("a")
+        assert dict(kv.items()) == {"b": 2}
+
+
+class TestPlacement:
+    def test_offsets_stable_per_key(self, sim, kv):
+        kv.put_deferred("k", 1)
+        off1 = kv._offset_of("k")
+        kv.put_deferred("k", 2)
+        assert kv._offset_of("k") == off1
+
+    def test_insertion_order_is_sequential(self, sim, params, kv):
+        offs = []
+        for i in range(5):
+            kv.put_deferred(("f", i), i)
+            offs.append(kv._offset_of(("f", i)))
+        assert offs == sorted(offs)
+        assert offs[1] - offs[0] == params.kv_record_size

@@ -1,0 +1,75 @@
+"""Unit tests for the conflict injector (Figure 8's mechanism)."""
+
+import pytest
+
+from repro.cluster.builder import ROOT_HANDLE
+from repro.fs.ops import FileOperation, OpType
+from repro.params import SimParams
+from repro.workloads import ConflictInjector
+from tests.conftest import build_cluster, run_to_completion
+
+
+class TestValidation:
+    def test_rate_positive(self):
+        cluster = build_cluster("cx")
+        probe = cluster.client_process(0, 0)
+        with pytest.raises(ValueError):
+            ConflictInjector(cluster, probe, rate_per_second=0)
+
+
+class TestInjection:
+    def test_probes_hit_pending_operations(self):
+        cluster = build_cluster("cx", params=SimParams(commit_timeout=60.0))
+        d = cluster.preload_dir(ROOT_HANDLE, "dir")
+        worker = cluster.client_process(0, 0)
+        probe = cluster.client_process(1, 0)
+        injector = ConflictInjector(cluster, probe, rate_per_second=2000, seed=1)
+        injector.start()
+        ops = [FileOperation(OpType.CREATE, worker.new_op_id(), parent=d,
+                             name=f"f{i}", target=cluster.placement.allocate_handle())
+               for i in range(30)]
+        runner = cluster.run_ops(worker, ops)
+        run_to_completion(cluster, runner)
+        cluster.sim.run(until=cluster.sim.now + 0.05)
+        injector.stop()
+        assert injector.probes_sent > 0
+        assert injector.probes_hit > 0
+        # Probes forced immediate commitments.
+        immediate = sum(s.role.commit_mgr.immediate_commits for s in cluster.servers)
+        assert immediate > 0
+
+    def test_no_active_objects_means_no_probes(self):
+        cluster = build_cluster("cx")
+        probe = cluster.client_process(0, 0)
+        injector = ConflictInjector(cluster, probe, rate_per_second=1000, seed=1)
+        injector.start()
+        cluster.sim.run(until=0.05)
+        injector.stop()
+        assert injector.probes_sent == 0
+
+    def test_baseline_protocols_tolerated(self):
+        """Against OFS (no active-object table) the injector is a no-op."""
+        cluster = build_cluster("ofs")
+        probe = cluster.client_process(0, 0)
+        injector = ConflictInjector(cluster, probe, rate_per_second=1000, seed=1)
+        injector.start()
+        cluster.sim.run(until=0.05)
+        injector.stop()
+        assert injector.probes_sent == 0
+
+    def test_stop_halts_probing(self):
+        cluster = build_cluster("cx", params=SimParams(commit_timeout=60.0))
+        d = cluster.preload_dir(ROOT_HANDLE, "dir")
+        worker = cluster.client_process(0, 0)
+        probe = cluster.client_process(1, 0)
+        injector = ConflictInjector(cluster, probe, rate_per_second=500, seed=1)
+        injector.start()
+        ops = [FileOperation(OpType.CREATE, worker.new_op_id(), parent=d,
+                             name=f"g{i}", target=cluster.placement.allocate_handle())
+               for i in range(5)]
+        runner = cluster.run_ops(worker, ops)
+        run_to_completion(cluster, runner)
+        injector.stop()
+        sent = injector.probes_sent
+        cluster.sim.run(until=cluster.sim.now + 0.1)
+        assert injector.probes_sent == sent
