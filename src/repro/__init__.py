@@ -11,7 +11,10 @@ The package provides:
   (:mod:`repro.protocols`): 2PC, serial execution (OFS), OFS-batched,
   and central execution (Ursa Minor);
 * the paper's workloads (:mod:`repro.workloads`) and every evaluation
-  table/figure as a runnable experiment (:mod:`repro.experiments`).
+  table/figure as a runnable experiment (:mod:`repro.experiments`);
+* end-to-end observability (:mod:`repro.obs`): virtual-time tracing,
+  per-server metrics, Perfetto-renderable exports, and a trace-driven
+  protocol invariant checker.
 
 Quickstart::
 
@@ -42,6 +45,12 @@ from repro.protocols import (
     get_protocol,
 )
 from repro.core import CxProtocol
+from repro.obs import (
+    InvariantChecker,
+    MetricsRegistry,
+    Tracer,
+    check_trace,
+)
 
 __version__ = "1.0.0"
 
@@ -50,12 +59,16 @@ __all__ = [
     "CentralProtocol",
     "CxProtocol",
     "DEFAULT_PARAMS",
+    "InvariantChecker",
+    "MetricsRegistry",
     "PROTOCOL_NAMES",
     "ROOT_HANDLE",
     "SerialBatchedProtocol",
     "SerialProtocol",
     "SimParams",
+    "Tracer",
     "TwoPCProtocol",
     "__version__",
+    "check_trace",
     "get_protocol",
 ]

@@ -7,6 +7,19 @@ Usage::
     python -m repro fig5 --seed 1
     python -m repro all
 
+Observability::
+
+    python -m repro trace fig5                 # traced replay -> Chrome trace
+    python -m repro trace fig5 --out t.json    # choose the output file
+    python -m repro fig5 --trace t.json        # same, flag form
+    python -m repro trace fig5 --metrics       # print per-server metrics
+
+A traced run replays the experiment's canonical workload with the
+tracer enabled, writes a Chrome trace-event JSON (open it in Perfetto:
+https://ui.perfetto.dev), optionally a JSONL event dump, and validates
+the protocol invariants from the event stream (exit code 1 if any
+violation is found).
+
 Each experiment prints the regenerated artifact; see EXPERIMENTS.md for
 the paper-vs-measured discussion.
 """
@@ -36,6 +49,43 @@ def _experiments():
     }
 
 
+def _run_traced(args, parser) -> int:
+    from repro.experiments.tracing import TRACEABLE, run_traced_replay
+
+    experiment = args.target if args.experiment == "trace" else args.experiment
+    if experiment is None:
+        parser.error("trace mode needs an experiment id, e.g. 'trace fig5'")
+    if experiment not in TRACEABLE:
+        parser.error(
+            f"no traced replay for {experiment!r}; "
+            f"available: {', '.join(sorted(TRACEABLE))}"
+        )
+    if args.scale is not None and not 0 < args.scale <= 1:
+        parser.error("--scale must be in (0, 1]")
+    out = args.trace or args.out or f"trace_{experiment}.json"
+    start = time.time()
+    result = run_traced_replay(
+        experiment,
+        workload=args.workload,
+        scale=args.scale,
+        seed=args.seed,
+        trace_file=out,
+        jsonl_file=args.jsonl,
+    )
+    elapsed = time.time() - start
+    print(result.text)
+    print(f"chrome trace written to {out}" + (
+        f", jsonl to {args.jsonl}" if args.jsonl else ""))
+    if args.metrics:
+        print("\nper-server metrics:")
+        for node, snap in result.metrics.items():
+            print(f"[{node}]")
+            for name, value in snap.items():
+                print(f"  {name}: {value}")
+    print(f"[trace {experiment} regenerated in {elapsed:.1f}s wall]\n")
+    return 1 if result.violations else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -43,17 +93,42 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (table1..table5, fig4..fig9), 'all', or 'list'",
+        help="experiment id (table1..table5, fig4..fig9), 'trace <exp>', "
+             "'all', or 'list'",
+    )
+    parser.add_argument(
+        "target", nargs="?", default=None,
+        help="experiment to trace (only with the 'trace' command)",
     )
     parser.add_argument("--seed", type=int, default=0,
                         help="master RNG seed (default 0)")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="run a traced replay and write the Chrome "
+                             "trace-event JSON to FILE")
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="output file for 'trace <exp>' "
+                             "(default trace_<exp>.json)")
+    parser.add_argument("--jsonl", metavar="FILE", default=None,
+                        help="also dump the raw event stream as JSONL")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the per-server metrics registries "
+                             "after a traced replay")
+    parser.add_argument("--workload", default=None,
+                        help="workload trace for a traced replay "
+                             "(default: the experiment's canonical trace)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="replay scale override for a traced replay")
     args = parser.parse_args(argv)
+
+    if args.experiment == "trace" or args.trace or args.metrics:
+        return _run_traced(args, parser)
 
     registry = _experiments()
     if args.experiment == "list":
         print("available experiments:")
         for name in registry:
             print(f"  {name}")
+        print("  trace <exp>  (traced replay: fig5, fig8, table4)")
         return 0
 
     if args.experiment == "all":

@@ -89,9 +89,9 @@ class MetricsCollector:
         return max(r.end for r in self.ops) - min(r.start for r in self.ops)
 
     def throughput(self) -> float:
-        """Completed operations per second of virtual time."""
+        """Successfully completed operations per second of virtual time."""
         span = self.makespan
-        return len(self.ops) / span if span > 0 else 0.0
+        return self.completed_ok / span if span > 0 else 0.0
 
     def mean_latency(self, cross_only: bool = False) -> float:
         lat = [r.latency for r in self.ops if (r.cross_server or not cross_only)]

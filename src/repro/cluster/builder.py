@@ -22,6 +22,8 @@ from repro.fs.objects import DirEntry, FileType, Inode, dirent_key, inode_key
 from repro.fs.ops import FileOperation, OpPlan, OpType, split_operation
 from repro.fs.placement import PlacementPolicy
 from repro.net.network import Network
+from repro.obs.registry import merge_snapshots
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.params import SimParams
 from repro.sim import RngRegistry, Simulator
 
@@ -41,6 +43,7 @@ class Cluster:
         num_clients: int,
         procs_per_client: int = 1,
         seed: int = 0,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         from repro.protocols.base import Protocol  # avoid import cycle
 
@@ -50,7 +53,10 @@ class Cluster:
         self.params = params
         self.protocol = protocol
         self.rngs = RngRegistry(seed)
-        self.network = Network(sim, params)
+        self.tracer = tracer or NULL_TRACER
+        if tracer is not None:
+            tracer.bind(sim)
+        self.network = Network(sim, params, tracer=self.tracer)
         self.placement = PlacementPolicy(num_servers, self.rngs.stream("placement"))
         self.metrics = MetricsCollector()
         self.servers: List[MetadataServer] = [
@@ -76,10 +82,20 @@ class Cluster:
         procs_per_client: int = 1,
         seed: int = 0,
         sim: Optional[Simulator] = None,
+        tracer: Optional[Tracer] = None,
+        trace: bool = False,
     ) -> "Cluster":
+        """Assemble a cluster.
+
+        ``trace=True`` (or an explicit ``tracer``) enables end-to-end
+        operation tracing; the tracer is reachable as
+        ``cluster.tracer`` afterwards.
+        """
         params = params or SimParams()
         params = params.derived_copy(num_servers=num_servers)
         sim = sim or Simulator()
+        if trace and tracer is None:
+            tracer = Tracer(sim)
         return cls(
             sim,
             params,
@@ -88,6 +104,7 @@ class Cluster:
             num_clients,
             procs_per_client=procs_per_client,
             seed=seed,
+            tracer=tracer,
         )
 
     # -- accessors --------------------------------------------------------------
@@ -106,6 +123,15 @@ class Cluster:
             cp = ClientProcess(self, self.clients[client], proc)
             self._processes[key] = cp
         return cp
+
+    def metrics_snapshot(self) -> Dict[str, dict]:
+        """Per-server metrics registries as plain dicts, plus a merged
+        ``cluster`` aggregate."""
+        out: Dict[str, dict] = {
+            s.node_id: s.metrics.snapshot() for s in self.servers
+        }
+        out["cluster"] = merge_snapshots(s.metrics for s in self.servers)
+        return out
 
     def all_processes(self) -> List[ClientProcess]:
         return [

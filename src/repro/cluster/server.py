@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Deque, Optional, Set
 from repro.fs.namespace import NamespaceShard
 from repro.net.message import Message, MessageKind
 from repro.net.network import Network, Node
+from repro.obs.registry import MetricsRegistry
 from repro.params import SimParams
 from repro.sim import Interrupt, Process, Simulator
 from repro.sim.resources import ResourceClosed
@@ -50,6 +51,12 @@ class MetadataServer(Node):
         super().__init__(sim, network, server_node_id(index))
         self.params = params
         self.index = index
+        #: Observability: the cluster-wide tracer and this server's
+        #: metrics registry (always on; the tracer defaults to the
+        #: network's, which is the null tracer unless tracing was
+        #: requested at cluster build time).
+        self.tracer = network.tracer
+        self.metrics = MetricsRegistry(self.node_id)
         self.disk = Disk(sim, params, name=f"disk{index}")
         self.kv = KVStore(sim, self.disk, params, base_offset=KV_REGION_BASE)
         self.wal = WriteAheadLog(
@@ -60,6 +67,9 @@ class MetadataServer(Node):
             capacity=params.log_capacity,
             name=f"wal{index}",
         )
+        self.wal.tracer = self.tracer
+        self.wal.metrics = self.metrics
+        self.wal.trace_node = self.node_id
         self.shard = NamespaceShard(self.kv, index)
         self.role: Optional["ServerRole"] = None
         #: True while the cluster is in the recovery state — client
@@ -137,6 +147,8 @@ class MetadataServer(Node):
     def crash(self) -> None:
         """Kill the server process: volatile state is lost, the log and
         the durable KV contents survive."""
+        self.tracer.event("server.crash", self.node_id, cat="server")
+        self.metrics.counter("server.crashes").inc()
         super().crash()  # close inbox, fail pending RPCs
         for proc in list(self._handlers):
             proc.interrupt("server crash")
@@ -150,6 +162,7 @@ class MetadataServer(Node):
 
     def reboot(self) -> None:
         """Restart after a crash; protocol recovery runs separately."""
+        self.tracer.event("server.reboot", self.node_id, cat="server")
         super().reboot()
         self.start()
         if self.role is not None:

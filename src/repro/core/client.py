@@ -23,6 +23,7 @@ from repro.cluster.client import ClientProcess, OpResult
 from repro.core.hints import ResponseHint, settled
 from repro.fs.ops import OpPlan
 from repro.net.message import Message, MessageKind
+from repro.obs.tracer import PHASE_CLIENT
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.builder import Cluster
@@ -36,6 +37,14 @@ def cx_client_perform(
     op_id = plan.op.op_id
     retry_timeout = getattr(cluster.params, "client_retry_timeout", None)
     channel = node.register_op(op_id)
+    tracer = cluster.tracer
+    op_span = (
+        tracer.begin(
+            "client-op", node.node_id, op_id=op_id, phase=PHASE_CLIENT,
+            op_type=plan.op.op_type.value, cross=plan.cross_server,
+        )
+        if tracer.enabled else None
+    )
 
     def send_requests() -> None:
         node.send(
@@ -93,6 +102,10 @@ def cx_client_perform(
             p = msg.payload
             if msg.kind is MessageKind.ALL_NO:
                 # Every successful execution was aborted (step 7b).
+                if tracer.enabled:
+                    tracer.event(
+                        "all-no", node.node_id, cat="protocol", op_id=op_id,
+                    )
                 return OpResult(ok=False, errno=p.get("errno"), conflicted=conflicted)
             latest[p["role"]] = p
             conflicted = conflicted or bool(p.get("conflicted"))
@@ -113,10 +126,17 @@ def cx_client_perform(
             # commitment; the ALL-NO closes the operation.
             if not lcom_sent:
                 lcom_sent = True
+                if tracer.enabled:
+                    tracer.event(
+                        "client-lcom", node.node_id, cat="protocol",
+                        op_id=op_id, ok_coord=ok_c, ok_part=ok_p,
+                    )
                 node.send(
                     cluster.server_id(plan.coordinator),
                     MessageKind.L_COM,
                     {"op": op_id, "want_all_no": True},
                 )
     finally:
+        if op_span is not None:
+            op_span.end()
         node.unregister_op(op_id)

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 from repro.core.records import PendingOp, PendingState, RecordType
 from repro.fs.objects import inode_key
 from repro.net.message import MessageKind
+from repro.obs.tracer import PHASE_COMMIT, PHASE_WRITEBACK
 from repro.storage.wal import LogRecord, OpId
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -63,7 +64,9 @@ class CommitManager:
         """A coord/single-role op finished executing; queue it."""
         if pend.state is not PendingState.EXECUTED:
             return  # an immediate commitment already picked it up
+        pend.enqueued_at = self.role.sim.now
         self.lazy[pend.op_id] = pend
+        self.role.server.metrics.gauge("commit.queue_depth").set(len(self.lazy))
         if pend.immediate_requested:
             self.launch_ops([pend], "immediate")
         else:
@@ -114,13 +117,25 @@ class CommitManager:
             self.launch_ops(ops, reason)
 
     def launch_ops(self, ops: List[PendingOp], reason: str) -> None:
+        server = self.role.server
+        tracer = server.tracer
         for p in ops:
             p.state = PendingState.COMMITTING
+            if tracer.enabled:
+                p.commit_span = tracer.begin(
+                    "commitment", server.node_id, op_id=p.op_id,
+                    phase=PHASE_COMMIT, role=p.role, reason=reason,
+                )
         self.batches_launched += 1
+        metrics = server.metrics
+        metrics.counter("commit.batches").inc()
+        metrics.histogram("commit.batch_size").observe(len(ops))
         if reason == "immediate":
             self.immediate_commits += len(ops)
+            metrics.counter("commit.immediate_ops").inc(len(ops))
         else:
             self.lazy_commits += len(ops)
+            metrics.counter("commit.lazy_ops").inc(len(ops))
         self.role.sim.process(self._commit_batch(ops))
 
     # -- the batch process ------------------------------------------------------------
@@ -147,6 +162,16 @@ class CommitManager:
         flush = self.role.server.kv.flush_keys(keys)
         if flush is not None:
             yield flush
+        tracer = self.role.server.tracer
+        if tracer.enabled:
+            # Only decided ops were truly synchronized — a participant
+            # crash mid-commitment leaves its ops pending for retry.
+            for p in ops:
+                if p.state is PendingState.DONE:
+                    tracer.event(
+                        "writeback", self.role.server.node_id, cat="kv",
+                        op_id=p.op_id, phase=PHASE_WRITEBACK,
+                    )
 
     def _commit_group(self, part_idx: int, group: List[PendingOp]):
         """Commit one participant's share of a batch, sub-batched so no
@@ -160,6 +185,9 @@ class CommitManager:
             for p in group:
                 if p.state is PendingState.COMMITTING:
                     p.state = PendingState.EXECUTED
+                if p.commit_span is not None:
+                    p.commit_span.end(outcome="peer-crashed")
+                    p.commit_span = None
 
     def _commit_group_once(self, part_idx: int, ops: List[PendingOp]):
         role = self.role
@@ -230,8 +258,23 @@ class CommitManager:
 
     def _finalize(self, pend: PendingOp, committed: bool) -> None:
         role = self.role
+        server = role.server
+        server.metrics.counter("commit.decisions").inc()
+        if pend.enqueued_at is not None:
+            server.metrics.histogram("commit.latency").observe(
+                role.sim.now - pend.enqueued_at
+            )
+        if server.tracer.enabled:
+            server.tracer.event(
+                "decision", server.node_id, cat="protocol",
+                op_id=pend.op_id, committed=committed, role=pend.role,
+            )
+        if pend.commit_span is not None:
+            pend.commit_span.end(committed=committed)
+            pend.commit_span = None
         role.server.wal.prune_op(pend.op_id)
         self.lazy.pop(pend.op_id, None)
+        server.metrics.gauge("commit.queue_depth").set(len(self.lazy))
         role.pending.pop(pend.op_id, None)
         pend.state = PendingState.DONE
         errno = pend.result.errno if not pend.ok else getattr(pend, "vote_errno", None)

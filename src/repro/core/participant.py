@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Tuple
 
 from repro.core.records import PendingOp, PendingState, RecordType
 from repro.net.message import Message, MessageKind
+from repro.obs.tracer import PHASE_COMMIT, PHASE_WRITEBACK
 from repro.sim import Event
 from repro.storage.wal import LogRecord, OpId
 
@@ -61,6 +62,8 @@ class ParticipantHalf:
 
     def handle_vote(self, msg: Message) -> Generator:
         role = self.role
+        server = role.server
+        tracer = server.tracer
         votes: Dict[OpId, dict] = {}
         for op_id in msg.payload["ops"]:
             pend = role.pending.get(op_id)
@@ -69,6 +72,14 @@ class ParticipantHalf:
             votes[op_id] = {"ok": pend.ok, "errno": pend.result.errno}
             # Once voted, the op may no longer be invalidated.
             pend.state = PendingState.COMMITTING
+            # The participant's commitment phase opens at its vote (a
+            # coordinator retry after a crash finds the span open).
+            if tracer.enabled and pend.commit_span is None:
+                pend.commit_span = tracer.begin(
+                    "commitment", server.node_id, op_id=op_id,
+                    phase=PHASE_COMMIT, role="part",
+                )
+        server.metrics.counter("votes.answered").inc(len(votes))
         size = (
             role.params.msg_base_size
             + role.params.msg_per_op_size * len(votes)
@@ -102,6 +113,12 @@ class ParticipantHalf:
             ev = Event(role.sim)
             self._vote_waiters.setdefault(op_id, []).append(ev)
             self.deferred_votes += 1
+            role.server.metrics.counter("votes.deferred").inc()
+            if role.server.tracer.enabled:
+                role.server.tracer.event(
+                    "vote.deferred", role.server.node_id, cat="protocol",
+                    op_id=op_id,
+                )
             yield ev
 
     def _find_blocked(self, op_id: OpId) -> Optional[Tuple[OpId, Message]]:
@@ -124,6 +141,12 @@ class ParticipantHalf:
         """
         role = self.role
         self.invalidations += 1
+        role.server.metrics.counter("disorder.invalidations").inc()
+        if role.server.tracer.enabled:
+            role.server.tracer.event(
+                "invalidate", role.server.node_id, cat="protocol",
+                op_id=holder.op_id,
+            )
         role.server.shard.apply_deferred(holder.result.undo)
         role.server.wal.invalidate(holder.record)
         role.pending.pop(holder.op_id, None)
@@ -142,6 +165,7 @@ class ParticipantHalf:
 
     def handle_decide(self, msg: Message) -> Generator:
         role = self.role
+        server = role.server
         decisions: Dict[OpId, bool] = msg.payload["decisions"]
         records = []
         to_release: List[Tuple[PendingOp, bool]] = []
@@ -159,6 +183,15 @@ class ParticipantHalf:
                 )
             )
             pend.state = PendingState.DONE
+            server.metrics.counter("commit.decisions").inc()
+            if server.tracer.enabled:
+                server.tracer.event(
+                    "decision", server.node_id, cat="protocol",
+                    op_id=op_id, committed=commit, role="part",
+                )
+            if pend.commit_span is not None:
+                pend.commit_span.end(committed=commit)
+                pend.commit_span = None
             role.completed[op_id] = {
                 "committed": commit,
                 "errno": pend.result.errno,
@@ -175,6 +208,12 @@ class ParticipantHalf:
         flush = role.server.kv.flush_keys(keys)
         if flush is not None:
             yield flush
+        if server.tracer.enabled:
+            for pend, _commit in to_release:
+                server.tracer.event(
+                    "writeback", server.node_id, cat="kv",
+                    op_id=pend.op_id, phase=PHASE_WRITEBACK,
+                )
         for pend, _commit in to_release:
             released = role.active.release(pend.op_id, committed=True)
             role.reinject_blocked(released, ordered_after=pend)

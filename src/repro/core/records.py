@@ -103,6 +103,12 @@ class PendingOp:
     immediate_requested: bool = False
     #: Coordinator-role only: the participant's errno from its vote.
     vote_errno: Optional[str] = None
+    #: Virtual time this op entered the lazy queue (feeds the
+    #: commitment-latency histogram).
+    enqueued_at: Optional[float] = None
+    #: Open tracing span for the in-flight commitment on this server
+    #: (:class:`repro.obs.tracer.Span`; None while no tracer is active).
+    commit_span: Any = None
 
     @property
     def ok(self) -> bool:

@@ -29,6 +29,7 @@ from repro.core.records import PendingOp, PendingState, make_result_record
 from repro.core.recovery import CxRecovery
 from repro.core.triggers import CommitTriggers
 from repro.net.message import Message, MessageKind
+from repro.obs.tracer import PHASE_EXEC, PHASE_RECORD
 from repro.protocols.base import ServerRole
 from repro.storage.wal import OpId
 
@@ -55,10 +56,22 @@ class CxRole(ServerRole):
             launch=self.commit_mgr.launch_all,
             timeout=self.params.commit_timeout,
             threshold=self.params.commit_threshold,
+            on_fire=self._on_trigger_fire,
         )
         #: Op ids currently blocked on this server (duplicate-REQ guard).
         self._blocked_ops: Set[OpId] = set()
         server.wal.on_full = self._on_log_full
+
+    def _on_trigger_fire(self, kind: str) -> None:
+        self.server.metrics.counter(f"trigger.{kind}").inc()
+        # Idle timeout fires (empty lazy queue) are counted but not
+        # traced — they would dominate the event stream.
+        pending = len(self.commit_mgr.lazy)
+        if pending and self.server.tracer.enabled:
+            self.server.tracer.event(
+                "trigger", self.server.node_id, cat="trigger", kind=kind,
+                pending=pending,
+            )
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -140,6 +153,12 @@ class CxRole(ServerRole):
         if foreign:
             # Conflict: block this sub-op behind the newest pending
             # operation and get every holder committed immediately.
+            self.server.metrics.counter("conflicts").inc()
+            if self.server.tracer.enabled:
+                self.server.tracer.event(
+                    "conflict", self.server.node_id, cat="protocol",
+                    op_id=op_id, blocked_behind=foreign[-1],
+                )
             self._blocked_ops.add(op_id)
             msg.payload["conflicted"] = True
             self.active.block(foreign[-1], msg)
@@ -214,8 +233,18 @@ class CxRole(ServerRole):
         if cross:
             self.active.register(op_id, keys)
 
+        tracer = self.server.tracer
+        exec_span = (
+            tracer.begin(
+                "exec", self.server.node_id, op_id=op_id,
+                phase=PHASE_EXEC, role=subop.role,
+            )
+            if tracer.enabled else None
+        )
         yield self.sim.timeout(self.params.cpu_subop)
         res = self.server.shard.execute(subop, self.sim.now)
+        if exec_span is not None:
+            exec_span.end(ok=res.ok, errno=res.errno)
 
         if res.ok:
             self.server.shard.apply_deferred(res.updates)
@@ -249,7 +278,16 @@ class CxRole(ServerRole):
         self.commit_mgr.adopt_pre_request(pend)
         # Durable Result-Record before the response; this append blocks
         # when the log is full (Fig. 7(a)'s effect).
+        record_span = (
+            tracer.begin(
+                "result-record", self.server.node_id, op_id=op_id,
+                phase=PHASE_RECORD, role=subop.role, size=record.size,
+            )
+            if tracer.enabled else None
+        )
         yield self.server.wal.append(record)
+        if record_span is not None:
+            record_span.end()
 
         hint_block = ResponseHint(
             hint=pend.hint,
@@ -308,6 +346,15 @@ class CxRole(ServerRole):
         the participant) asks us to launch an immediate commitment."""
         op_id = msg.payload["op"]
         all_no_dst = msg.src if msg.payload.get("want_all_no") else None
+        if all_no_dst is not None:
+            # Client-driven L-COM: the completion rule saw a YES/NO
+            # disagreement (paper §III.B step 7b).
+            self.server.metrics.counter("disagreements").inc()
+            if self.server.tracer.enabled:
+                self.server.tracer.event(
+                    "disagreement", self.server.node_id, cat="protocol",
+                    op_id=op_id, src=msg.src,
+                )
         self.commit_mgr.request_immediate(op_id, all_no_dst=all_no_dst)
 
     def _on_log_full(self) -> None:

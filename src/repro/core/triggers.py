@@ -28,6 +28,7 @@ class CommitTriggers:
         launch: Callable[[str], None],
         timeout: Optional[float],
         threshold: Optional[int],
+        on_fire: Optional[Callable[[str], None]] = None,
     ) -> None:
         if timeout is not None and timeout <= 0:
             raise ValueError("timeout trigger must be positive")
@@ -39,6 +40,9 @@ class CommitTriggers:
         self.threshold = threshold
         self.timeout_fires = 0
         self.threshold_fires = 0
+        #: Observability hook: called with the trigger kind on each fire
+        #: (the Cx role records trace events and metrics through it).
+        self.on_fire = on_fire
         self._timer: Optional[Process] = None
 
     # -- lifecycle -----------------------------------------------------------
@@ -59,6 +63,8 @@ class CommitTriggers:
             while True:
                 yield self.sim.timeout(self.timeout)
                 self.timeout_fires += 1
+                if self.on_fire is not None:
+                    self.on_fire("timeout")
                 self.launch("timeout")
         except Interrupt:
             return
@@ -69,4 +75,6 @@ class CommitTriggers:
         """Called after each execution with the current pending count."""
         if self.threshold is not None and pending_count >= self.threshold:
             self.threshold_fires += 1
+            if self.on_fire is not None:
+                self.on_fire("threshold")
             self.launch("threshold")

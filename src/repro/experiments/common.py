@@ -63,6 +63,7 @@ def build_trace_cluster(
     params: Optional[SimParams] = None,
     num_servers: int = NUM_SERVERS,
     seed: int = 0,
+    trace: bool = False,
 ) -> Cluster:
     return Cluster.build(
         num_servers=num_servers,
@@ -71,6 +72,7 @@ def build_trace_cluster(
         params=params or experiment_params(),
         procs_per_client=PROCS_PER_CLIENT,
         seed=seed,
+        trace=trace,
     )
 
 
@@ -81,10 +83,17 @@ def run_trace_protocol(
     num_servers: int = NUM_SERVERS,
     scale: Optional[float] = None,
     seed: int = 0,
+    traced: bool = False,
 ) -> ReplayResult:
-    """Replay one trace under one protocol at the canonical config."""
+    """Replay one trace under one protocol at the canonical config.
+
+    ``traced=True`` enables the observability tracer; the event stream
+    is returned on ``result.tracer`` (see :mod:`repro.experiments.tracing`
+    for the full traced-replay driver).
+    """
     cluster = build_trace_cluster(
-        protocol_name, params=params, num_servers=num_servers, seed=seed
+        protocol_name, params=params, num_servers=num_servers, seed=seed,
+        trace=traced,
     )
     workload = TraceWorkload(
         TRACE_SPECS[trace],

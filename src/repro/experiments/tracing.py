@@ -1,0 +1,116 @@
+"""Traced replay runs: the ``python -m repro trace <experiment>`` path.
+
+Re-runs one experiment's canonical replay configuration with the
+tracer enabled, exports the event stream (Chrome trace-event JSON for
+Perfetto, optionally JSONL), prints per-server metrics, and validates
+the protocol invariants from the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.experiments.common import (
+    NUM_SERVERS,
+    TRACE_SCALES,
+    build_trace_cluster,
+)
+from repro.obs import (
+    Tracer,
+    Violation,
+    check_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.workloads import TRACE_SPECS, TraceWorkload, replay_streams
+
+#: Experiments a traced run knows how to reproduce, mapped to their
+#: default workload trace and protocol.
+TRACEABLE: Dict[str, Dict[str, str]] = {
+    "fig5": {"workload": "CTH", "protocol": "cx"},
+    "fig8": {"workload": "home2", "protocol": "cx"},
+    "table4": {"workload": "CTH", "protocol": "cx"},
+}
+
+
+@dataclass
+class TracedReplay:
+    """Everything a traced replay produced."""
+
+    experiment: str
+    workload: str
+    protocol: str
+    tracer: Tracer
+    replay_time: float
+    total_ops: int
+    cross_server_ops: int
+    violations: List[Violation]
+    metrics: Dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def text(self) -> str:
+        lines = [
+            f"traced {self.experiment} replay: workload={self.workload} "
+            f"protocol={self.protocol}",
+            f"  ops={self.total_ops} (cross-server {self.cross_server_ops}), "
+            f"replay_time={self.replay_time:.3f}s, "
+            f"events={len(self.tracer.events)}",
+            f"  invariant violations: {len(self.violations)}",
+        ]
+        for v in self.violations[:10]:
+            lines.append(f"    {v}")
+        return "\n".join(lines)
+
+
+def run_traced_replay(
+    experiment: str = "fig5",
+    workload: Optional[str] = None,
+    protocol: Optional[str] = None,
+    scale: Optional[float] = None,
+    num_servers: int = NUM_SERVERS,
+    seed: int = 0,
+    trace_file: Optional[str] = None,
+    jsonl_file: Optional[str] = None,
+) -> TracedReplay:
+    """Replay one experiment's workload with tracing enabled."""
+    spec = TRACEABLE.get(experiment)
+    if spec is None:
+        raise ValueError(
+            f"experiment {experiment!r} has no traced replay; "
+            f"choose one of {sorted(TRACEABLE)}"
+        )
+    workload = workload or spec["workload"]
+    protocol = protocol or spec["protocol"]
+    if workload not in TRACE_SPECS:
+        raise ValueError(f"unknown workload trace {workload!r}")
+
+    cluster = build_trace_cluster(
+        protocol, num_servers=num_servers, seed=seed, trace=True
+    )
+    wl = TraceWorkload(
+        TRACE_SPECS[workload],
+        scale=scale if scale is not None else TRACE_SCALES[workload],
+        seed=seed,
+    )
+    streams = wl.build(cluster, cluster.all_processes())
+    result = replay_streams(cluster, streams)
+
+    tracer = cluster.tracer
+    violations = check_trace(tracer)
+    if trace_file:
+        write_chrome_trace(tracer.events, trace_file)
+    if jsonl_file:
+        write_jsonl(tracer.events, jsonl_file)
+
+    return TracedReplay(
+        experiment=experiment,
+        workload=workload,
+        protocol=protocol,
+        tracer=tracer,
+        replay_time=result.replay_time,
+        total_ops=result.total_ops,
+        cross_server_ops=result.cross_server_ops,
+        violations=violations,
+        metrics=cluster.metrics_snapshot(),
+    )

@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from repro.net.message import Message, MessageKind
 from repro.net.stats import MessageStats
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.params import SimParams
 from repro.sim import Event, Simulator, Store
 
@@ -27,11 +28,19 @@ class UnknownNode(KeyError):
 class Network:
     """Registry of nodes plus the delivery mechanism."""
 
-    def __init__(self, sim: Simulator, params: SimParams) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        params: SimParams,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self.sim = sim
         self.params = params
         self.nodes: Dict[str, "Node"] = {}
         self.stats = MessageStats()
+        self.tracer = tracer or NULL_TRACER
+        #: node id -> (net.sent, net.sent_bytes) counters, resolved once.
+        self._send_counters: Dict[str, Optional[tuple]] = {}
 
     def register(self, node: "Node") -> None:
         if node.node_id in self.nodes:
@@ -53,6 +62,22 @@ class Network:
         if dst is None:
             raise UnknownNode(msg.dst)
         self.stats.record(msg)
+        counters = self._send_counters.get(msg.src, False)
+        if counters is False:
+            metrics = getattr(self.nodes.get(msg.src), "metrics", None)
+            counters = self._send_counters[msg.src] = (
+                None if metrics is None
+                else (metrics.counter("net.sent"), metrics.counter("net.sent_bytes"))
+            )
+        if counters is not None:
+            counters[0].inc()
+            counters[1].inc(msg.size)
+        if self.tracer.enabled:
+            op_id = msg.payload.get("op_id") or msg.payload.get("op")
+            self.tracer.event(
+                "msg", msg.src, cat="net", op_id=op_id,
+                kind=msg.kind.value, dst=msg.dst, size=msg.size,
+            )
 
         def _deliver(_ev: Event) -> None:
             if dst.crashed:

@@ -44,6 +44,7 @@ class MessageStats:
         """A plain-dict copy for reporting."""
         out = {k.value: v for k, v in self.by_kind.items()}
         out["TOTAL"] = self.total
+        out["TOTAL_BYTES"] = self.total_bytes
         return out
 
     @property

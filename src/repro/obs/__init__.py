@@ -1,0 +1,68 @@
+"""Observability: tracing, per-server metrics, exporters, invariants.
+
+The subsystem decomposes every cross-server operation into the paper's
+phases — concurrent execution, Result-Record append, lazy commitment,
+write-back — and makes them visible three ways:
+
+* :class:`Tracer` (:mod:`repro.obs.tracer`) — structured span/event
+  records, virtual-time timestamped, zero overhead when disabled;
+* :class:`MetricsRegistry` (:mod:`repro.obs.registry`) — per-server
+  counters, gauges, and histograms (batch sizes, commitment latencies,
+  WAL syncs, queue depths, conflict/disagreement/disorder counts);
+* exporters (:mod:`repro.obs.export`) — JSONL and Chrome trace-event
+  JSON (open in Perfetto for a cross-server timeline);
+* :class:`InvariantChecker` (:mod:`repro.obs.invariants`) — validates
+  protocol safety and liveness from the event stream alone.
+"""
+
+from repro.obs.export import (
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.invariants import InvariantChecker, Violation, check_trace
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    PHASE_CLIENT,
+    PHASE_COMMIT,
+    PHASE_EXEC,
+    PHASE_RECORD,
+    PHASE_WRITEBACK,
+    NullTracer,
+    Span,
+    TraceEvent,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InvariantChecker",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "PHASE_CLIENT",
+    "PHASE_COMMIT",
+    "PHASE_EXEC",
+    "PHASE_RECORD",
+    "PHASE_WRITEBACK",
+    "Span",
+    "TraceEvent",
+    "Tracer",
+    "Violation",
+    "check_trace",
+    "merge_snapshots",
+    "to_chrome_trace",
+    "to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,112 @@
+"""Trace exporters: JSONL and Chrome trace-event format.
+
+The Chrome format renders directly in Perfetto (https://ui.perfetto.dev)
+or ``chrome://tracing``: each simulated node becomes a process row, each
+operation a named thread lane within it, so a fig5 replay reads as a
+cross-server timeline — the concurrent-execution spans of one operation
+line up on the coordinator and the participant, with the batched
+lazy-commitment spans trailing them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, Iterable, List, Tuple, Union
+
+from repro.obs.tracer import TraceEvent
+
+#: Virtual seconds -> trace microseconds (the Chrome format's unit).
+_US = 1e6
+
+
+def to_jsonl(events: Iterable[TraceEvent]) -> str:
+    """One JSON object per line, in event order."""
+    return "\n".join(json.dumps(e.to_dict(), sort_keys=True) for e in events)
+
+
+def write_jsonl(events: Iterable[TraceEvent], path_or_file: Union[str, IO[str]]) -> None:
+    text = to_jsonl(events)
+    if hasattr(path_or_file, "write"):
+        path_or_file.write(text + "\n")
+    else:
+        with open(path_or_file, "w") as fh:
+            fh.write(text + "\n")
+
+
+def _op_label(op_id) -> str:
+    return "op " + ":".join(str(x) for x in op_id)
+
+
+def to_chrome_trace(events: Iterable[TraceEvent]) -> Dict[str, object]:
+    """Build the Chrome trace-event JSON object.
+
+    Layout: one *process* per node (``pid``), lane 0 for the node's own
+    activity (WAL, triggers, messages), one *thread* lane per operation
+    the node touched.
+    """
+    events = list(events)
+    pids: Dict[str, int] = {}
+    tids: Dict[Tuple[str, Tuple], int] = {}
+    out: List[dict] = []
+
+    def pid_of(node: str) -> int:
+        pid = pids.get(node)
+        if pid is None:
+            pid = pids[node] = len(pids) + 1
+            out.append({
+                "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                "args": {"name": node},
+            })
+            out.append({
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": 0,
+                "args": {"name": "server"},
+            })
+        return pid
+
+    def tid_of(node: str, op_id) -> int:
+        if op_id is None:
+            return 0
+        key = (node, op_id)
+        tid = tids.get(key)
+        if tid is None:
+            tid = tids[key] = sum(1 for n, _ in tids if n == node) + 1
+            out.append({
+                "ph": "M", "name": "thread_name", "pid": pid_of(node),
+                "tid": tid, "args": {"name": _op_label(op_id)},
+            })
+        return tid
+
+    for e in events:
+        pid = pid_of(e.node)
+        tid = tid_of(e.node, e.op_id)
+        args = dict(e.args)
+        if e.op_id is not None:
+            args["op_id"] = ":".join(str(x) for x in e.op_id)
+        if e.phase is not None:
+            args["phase"] = e.phase
+        rec = {
+            "name": e.name,
+            "cat": e.phase or e.cat,
+            "ph": e.ph,
+            "ts": e.ts * _US,
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        }
+        if e.ph == "X":
+            rec["dur"] = e.dur * _US
+        elif e.ph == "i":
+            rec["s"] = "t"  # thread-scoped instant
+        out.append(rec)
+
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: Iterable[TraceEvent],
+                       path_or_file: Union[str, IO[str]]) -> None:
+    doc = to_chrome_trace(events)
+    if hasattr(path_or_file, "write"):
+        json.dump(doc, path_or_file)
+    else:
+        with open(path_or_file, "w") as fh:
+            json.dump(doc, fh)

@@ -1,0 +1,181 @@
+"""Per-server metrics registry: counters, gauges, histograms.
+
+Each :class:`~repro.cluster.server.MetadataServer` owns one
+:class:`MetricsRegistry`; the protocol layers record batch sizes,
+commitment latencies, WAL sync counts, queue depths, and
+conflict/disagreement/disorder tallies into it.  Registries are cheap
+(always on — an ``inc`` is one attribute add) and snapshot to plain
+dicts for reporting; :func:`merge_snapshots` aggregates a cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+
+class Counter:
+    """A monotonically increasing tally."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def snapshot(self):
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value; remembers its high-water mark."""
+
+    __slots__ = ("value", "max")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.max = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = v
+        if v > self.max:
+            self.max = v
+
+    def snapshot(self):
+        return {"value": self.value, "max": self.max}
+
+
+class Histogram:
+    """A distribution of observed values with summary statistics."""
+
+    __slots__ = ("values",)
+
+    def __init__(self) -> None:
+        self.values: List[float] = []
+
+    def observe(self, v: float) -> None:
+        self.values.append(v)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return float(sum(self.values))
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.values else 0.0
+
+    def percentile(self, q: float) -> float:
+        if not self.values:
+            return 0.0
+        return float(np.percentile(self.values, q))
+
+    def snapshot(self):
+        if not self.values:
+            return {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0,
+                    "max": 0.0, "p50": 0.0, "p99": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": float(min(self.values)),
+            "max": float(max(self.values)),
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Named metrics of one server (or any other node)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- get-or-create accessors ----------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram()
+        return h
+
+    # -- reporting -------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        out: Dict[str, object] = {}
+        for name, c in sorted(self._counters.items()):
+            out[name] = c.snapshot()
+        for name, g in sorted(self._gauges.items()):
+            out[name] = g.snapshot()
+        for name, h in sorted(self._histograms.items()):
+            out[name] = h.snapshot()
+        return out
+
+    def render(self) -> str:
+        lines = [f"[{self.name}]"]
+        for name, value in self.snapshot().items():
+            if isinstance(value, dict):
+                inner = ", ".join(
+                    f"{k}={v:.4g}" if isinstance(v, float) else f"{k}={v}"
+                    for k, v in value.items()
+                )
+                lines.append(f"  {name}: {inner}")
+            else:
+                lines.append(f"  {name}: {value}")
+        return "\n".join(lines)
+
+
+def merge_snapshots(registries: Iterable[MetricsRegistry]) -> Dict[str, object]:
+    """Sum counters and histogram counts/sums across registries.
+
+    Gauges aggregate by their high-water marks (max across servers).
+    """
+    merged: Dict[str, object] = {}
+    for reg in registries:
+        for name, value in reg.snapshot().items():
+            if isinstance(value, (int, float)):
+                merged[name] = merged.get(name, 0) + value
+            elif "max" in value and "count" not in value:  # gauge
+                prev: Optional[dict] = merged.get(name)  # type: ignore[assignment]
+                if prev is None:
+                    merged[name] = dict(value)
+                else:
+                    prev["value"] += value["value"]
+                    prev["max"] = max(prev["max"], value["max"])
+            else:  # histogram summary (quantiles are not mergeable)
+                value = {k: v for k, v in value.items() if k not in ("p50", "p99")}
+                prev = merged.get(name)  # type: ignore[assignment]
+                if prev is None:
+                    merged[name] = dict(value)
+                else:
+                    total = prev["count"] + value["count"]
+                    if total:
+                        prev["mean"] = (
+                            prev["sum"] + value["sum"]
+                        ) / total
+                    prev["count"] = total
+                    prev["sum"] += value["sum"]
+                    prev["min"] = min(prev["min"], value["min"]) if value["count"] else prev["min"]
+                    prev["max"] = max(prev["max"], value["max"])
+    return merged

@@ -1,0 +1,199 @@
+"""Structured, virtual-time tracing of protocol execution.
+
+The tracer records *what happened when* inside every operation: spans
+(durations with a start and an end, e.g. the concurrent-execution phase
+of a sub-op) and instant events (a trigger firing, a message leaving a
+node, a log prune).  Every record is timestamped with the simulator's
+virtual clock and keyed by node id, operation id, and protocol phase,
+so a single event stream can be sliced per server, per operation, or
+per phase — and exported to Chrome trace-event format for Perfetto
+(:mod:`repro.obs.export`) or fed to the invariant checker
+(:mod:`repro.obs.invariants`).
+
+Zero overhead when disabled: the default tracer everywhere is the
+:data:`NULL_TRACER` singleton, whose methods are no-ops and whose
+``enabled`` flag is ``False`` — hot paths guard any argument
+construction behind ``if tracer.enabled``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim import Simulator
+    from repro.storage.wal import OpId
+
+# -- protocol phase labels (the paper's per-operation decomposition) ----------
+
+#: Steps 1–2: both servers execute their sub-ops concurrently.
+PHASE_EXEC = "concurrent-execution"
+#: The durable Result-Record append that precedes the client response.
+PHASE_RECORD = "result-record"
+#: Steps 3–7: the deferred VOTE / COMMIT-REQ / ACK exchange.
+PHASE_COMMIT = "lazy-commitment"
+#: The batched synchronization of decided objects into the database.
+PHASE_WRITEBACK = "write-back"
+#: The client's view of the whole operation.
+PHASE_CLIENT = "client-op"
+
+
+@dataclass
+class TraceEvent:
+    """One structured trace record.
+
+    ``ph`` follows the Chrome trace-event phase letters: ``"X"`` is a
+    complete span (``ts`` start, ``dur`` length), ``"i"`` an instant.
+    """
+
+    name: str
+    cat: str
+    ph: str
+    ts: float
+    node: str
+    dur: float = 0.0
+    op_id: Optional["OpId"] = None
+    phase: Optional[str] = None
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        d = asdict(self)
+        if d["op_id"] is not None:
+            d["op_id"] = list(d["op_id"])
+        return d
+
+
+class Span:
+    """An open span; :meth:`end` stamps the duration and records it."""
+
+    __slots__ = ("_tracer", "name", "cat", "node", "op_id", "phase", "start", "args", "_done")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, node: str,
+                 op_id, phase, args: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.node = node
+        self.op_id = op_id
+        self.phase = phase
+        self.start = tracer.now()
+        self.args = args
+        self._done = False
+
+    def end(self, **extra: Any) -> None:
+        if self._done:
+            return
+        self._done = True
+        if extra:
+            self.args.update(extra)
+        t = self._tracer
+        t.events.append(
+            TraceEvent(
+                name=self.name,
+                cat=self.cat,
+                ph="X",
+                ts=self.start,
+                dur=t.now() - self.start,
+                node=self.node,
+                op_id=self.op_id,
+                phase=self.phase,
+                args=self.args,
+            )
+        )
+
+
+class _NullSpan:
+    """Shared no-op span returned by the null tracer."""
+
+    __slots__ = ()
+
+    def end(self, **extra: Any) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records against virtual time."""
+
+    enabled = True
+
+    def __init__(self, sim: Optional["Simulator"] = None) -> None:
+        self._sim = sim
+        self.events: List[TraceEvent] = []
+
+    # -- wiring ----------------------------------------------------------
+
+    def bind(self, sim: "Simulator") -> None:
+        """Attach the simulator whose clock stamps every record."""
+        self._sim = sim
+
+    def now(self) -> float:
+        return self._sim.now if self._sim is not None else 0.0
+
+    # -- recording -------------------------------------------------------
+
+    def event(self, name: str, node: str, *, cat: str = "op",
+              op_id=None, phase: Optional[str] = None, **args: Any) -> None:
+        """Record an instant event."""
+        self.events.append(
+            TraceEvent(
+                name=name, cat=cat, ph="i", ts=self.now(), node=node,
+                op_id=op_id, phase=phase, args=args,
+            )
+        )
+
+    def begin(self, name: str, node: str, *, cat: str = "op",
+              op_id=None, phase: Optional[str] = None, **args: Any) -> Span:
+        """Open a span; the returned handle's ``end()`` records it."""
+        return Span(self, name, cat, node, op_id, phase, args)
+
+    # -- queries ----------------------------------------------------------
+
+    def spans(self, name: Optional[str] = None,
+              phase: Optional[str] = None) -> List[TraceEvent]:
+        return [
+            e for e in self.events
+            if e.ph == "X"
+            and (name is None or e.name == name)
+            and (phase is None or e.phase == phase)
+        ]
+
+    def events_for(self, op_id) -> List[TraceEvent]:
+        return [e for e in self.events if e.op_id == op_id]
+
+    def op_ids(self) -> List[Tuple]:
+        seen: Dict[Tuple, None] = {}
+        for e in self.events:
+            if e.op_id is not None:
+                seen.setdefault(e.op_id, None)
+        return list(seen)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class NullTracer(Tracer):
+    """Disabled tracer: every call is a no-op, ``enabled`` is False.
+
+    A singleton (:data:`NULL_TRACER`) stands in wherever no tracer was
+    requested, so instrumented code never branches on ``None``.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(None)
+
+    def event(self, name: str, node: str, *, cat: str = "op",
+              op_id=None, phase: Optional[str] = None, **args: Any) -> None:
+        pass
+
+    def begin(self, name: str, node: str, *, cat: str = "op",
+              op_id=None, phase: Optional[str] = None, **args: Any) -> _NullSpan:
+        return NULL_SPAN
+
+
+NULL_TRACER = NullTracer()

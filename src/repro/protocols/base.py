@@ -196,6 +196,11 @@ class RenameTransactionMixin:
             {"txn": op_id, "commit": True},
         )
         assert ack.kind is MessageKind.ACK
+        if self.server.tracer.enabled:
+            self.server.tracer.event(
+                "decision", self.server.node_id, cat="protocol",
+                op_id=op_id, committed=True, role="rename-coord",
+            )
         self.server.wal.prune_op(op_id)
         self.reply_result(msg, res)
 
@@ -230,6 +235,12 @@ class RenameTransactionMixin:
                 yield self.sim.all_of(events)
         else:
             yield self.sim.timeout(self.params.kv_cpu)
+        if self.server.tracer.enabled:
+            self.server.tracer.event(
+                "decision", self.server.node_id, cat="protocol",
+                op_id=op_id, committed=bool(msg.payload["commit"]),
+                role="rename-part",
+            )
         self.server.wal.prune_op(op_id)
         self.server.send_reply(msg, MessageKind.ACK, {"txn": op_id})
 

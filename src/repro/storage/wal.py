@@ -28,6 +28,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.params import SimParams
 from repro.sim import Event, Simulator, Store
 from repro.storage.disk import Disk, Extent
@@ -82,6 +83,16 @@ class WriteAheadLog:
         #: Hook invoked (once per blocking append) when the log is full;
         #: the Cx server uses it to launch an urgent pruning commitment.
         self.on_full: Optional[Callable[[], None]] = None
+        #: Observability hooks, wired by the owning server (kept as
+        #: plain attributes so standalone WALs need no extra arguments).
+        self.tracer: Tracer = NULL_TRACER
+        self.metrics = None  # Optional[repro.obs.registry.MetricsRegistry]
+        #: (wal.appends counter, wal.valid_bytes gauge), resolved once —
+        #: appends are the WAL's hottest path.
+        self._append_meters: Optional[tuple] = None
+        #: Node id used in trace records (the owning server overrides
+        #: this with its own id so log events land on the server's row).
+        self.trace_node: str = name
         self._flusher = sim.process(self._flush_loop())
 
     # -- queries -----------------------------------------------------------
@@ -116,6 +127,13 @@ class WriteAheadLog:
         if (not urgent and self.capacity is not None
                 and self.valid_bytes + record.size > self.capacity):
             self.blocked_appends += 1
+            if self.metrics is not None:
+                self.metrics.counter("wal.blocked_appends").inc()
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "wal.blocked", self.trace_node, cat="wal",
+                    op_id=record.op_id, rtype=record.rtype,
+                )
             self._space_waiters.append((record, done))
             if self.on_full is not None:
                 self.on_full()
@@ -127,6 +145,20 @@ class WriteAheadLog:
         self._index.setdefault(record.op_id, []).append(record)
         self.valid_bytes += record.size
         self.appends += 1
+        if self.metrics is not None:
+            m = self._append_meters
+            if m is None:
+                m = self._append_meters = (
+                    self.metrics.counter("wal.appends"),
+                    self.metrics.gauge("wal.valid_bytes"),
+                )
+            m[0].inc()
+            m[1].set(self.valid_bytes)
+        if self.tracer.enabled:
+            self.tracer.event(
+                "wal.append", self.trace_node, cat="wal",
+                op_id=record.op_id, rtype=record.rtype, size=record.size,
+            )
         self._unflushed.append(record)
         self._flush_queue.put((record, done))
 
@@ -147,6 +179,13 @@ class WriteAheadLog:
             return 0
         freed = sum(r.size for r in records)
         self.valid_bytes -= freed
+        if self.metrics is not None:
+            self.metrics.gauge("wal.valid_bytes").set(self.valid_bytes)
+        if self.tracer.enabled:
+            self.tracer.event(
+                "wal.prune", self.trace_node, cat="wal",
+                op_id=op_id, freed=freed,
+            )
         self._wake_waiters()
         return freed
 
@@ -210,8 +249,21 @@ class WriteAheadLog:
             nbytes = sum(rec.size for rec, _done in batch)
             extent = Extent(self._tail, nbytes)
             self._tail += nbytes
+            sync_span = (
+                self.tracer.begin(
+                    "wal.sync", self.trace_node, cat="wal",
+                    nbytes=nbytes, nrecords=len(batch),
+                )
+                if self.tracer.enabled else None
+            )
             yield self.disk.submit([extent], write=True)
             self.flushes += 1
+            if sync_span is not None:
+                sync_span.end()
+            if self.metrics is not None:
+                self.metrics.counter("wal.syncs").inc()
+                self.metrics.histogram("wal.sync_bytes").observe(nbytes)
+                self.metrics.histogram("wal.sync_records").observe(len(batch))
             for rec, done in batch:
                 try:
                     self._unflushed.remove(rec)

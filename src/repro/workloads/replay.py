@@ -35,6 +35,8 @@ class ReplayResult:
     failed_ops: int
     mean_latency: float
     metrics: MetricsCollector = field(repr=False, default=None)  # type: ignore[assignment]
+    #: The cluster's tracer when the replay ran with tracing enabled.
+    tracer: object = field(repr=False, default=None)
 
     @property
     def messages_millions(self) -> float:
@@ -104,4 +106,5 @@ def replay_streams(
         failed_ops=total - m.completed_ok,
         mean_latency=m.mean_latency(),
         metrics=m,
+        tracer=cluster.tracer if cluster.tracer.enabled else None,
     )

@@ -36,6 +36,12 @@ class TestMetricsCollector:
         assert m.makespan == pytest.approx(4.0)
         assert m.throughput() == pytest.approx(0.5)
 
+    def test_throughput_counts_only_completed_ok(self):
+        m = MetricsCollector()
+        m.record(rec(1, start=0.0, end=2.0))
+        m.record(rec(2, start=0.0, end=2.0, ok=False))
+        assert m.throughput() == pytest.approx(0.5)
+
     def test_empty_safe(self):
         m = MetricsCollector()
         assert m.makespan == 0.0
@@ -71,6 +77,22 @@ class TestTimelineSampler:
     def test_period_validation(self, sim):
         with pytest.raises(ValueError):
             TimelineSampler(sim, lambda: 0, period=0)
+
+    def test_stop_halts_sampling(self, sim):
+        sampler = TimelineSampler(sim, lambda: 1.0, period=1.0)
+        sim.run(until=2.5)
+        sampler.stop()
+        sim.run(until=10.0)
+        xs, _ys = sampler.series()
+        assert list(xs) == [0.0, 1.0, 2.0]
+
+    def test_stop_is_idempotent(self, sim):
+        sampler = TimelineSampler(sim, lambda: 1.0, period=1.0)
+        sim.run(until=1.5)
+        sampler.stop()
+        sim.run(until=3.0)
+        sampler.stop()  # process already dead: must not raise
+        assert len(sampler.samples) == 2
 
 
 class TestConsistencyChecker:

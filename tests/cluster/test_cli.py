@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` CLI."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -11,6 +13,7 @@ class TestCli:
         out = capsys.readouterr().out
         for name in ("table1", "table5", "fig4", "fig9"):
             assert name in out
+        assert "trace" in out
 
     def test_unknown_experiment_errors(self):
         with pytest.raises(SystemExit):
@@ -25,3 +28,51 @@ class TestCli:
     def test_table3_runs(self, capsys):
         assert main(["table3"]) == 0
         assert "L-COM" in capsys.readouterr().out
+
+
+class TestTraceCli:
+    def test_trace_fig5_smoke(self, capsys, tmp_path):
+        """``trace fig5`` writes a valid Chrome trace with at least one
+        span per cross-server operation and no invariant violations."""
+        out_file = tmp_path / "trace_fig5.json"
+        code = main([
+            "trace", "fig5", "--scale", "0.0005",
+            "--out", str(out_file), "--seed", "1",
+        ])
+        printed = capsys.readouterr().out
+        assert code == 0
+        assert "invariant violations: 0" in printed
+
+        doc = json.loads(out_file.read_text())
+        spans_by_op = {}
+        for e in doc["traceEvents"]:
+            if e.get("ph") == "X" and "op_id" in e.get("args", {}):
+                spans_by_op.setdefault(e["args"]["op_id"], []).append(e)
+        # cross-server ops executed on two servers (= two pids)
+        cross = {
+            op: spans
+            for op, spans in spans_by_op.items()
+            if len({s["pid"] for s in spans}) > 1
+        }
+        assert cross, "no cross-server operations in the trace"
+        for op, spans in cross.items():
+            assert len(spans) >= 1, f"no spans for {op}"
+
+    def test_trace_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "fig4"])
+
+    def test_trace_without_target_errors(self):
+        with pytest.raises(SystemExit):
+            main(["trace"])
+
+    def test_trace_metrics_flag(self, capsys, tmp_path):
+        out_file = tmp_path / "t.json"
+        code = main([
+            "trace", "fig5", "--scale", "0.0003",
+            "--out", str(out_file), "--metrics",
+        ])
+        printed = capsys.readouterr().out
+        assert code == 0
+        assert "per-server metrics:" in printed
+        assert "commit.decisions" in printed

@@ -7,6 +7,7 @@ import pytest
 from repro import Cluster, SimParams
 from repro.cluster.builder import ROOT_HANDLE
 from repro.fs.ops import FileOperation, OpType
+from repro.obs import InvariantChecker
 from repro.protocols import get_protocol
 from repro.sim import Simulator
 
@@ -27,6 +28,10 @@ def fast_commit_params() -> SimParams:
     return SimParams(commit_timeout=0.05)
 
 
+#: Clusters built during the current test; audited by ``_audit_traces``.
+_TRACED_CLUSTERS: list[Cluster] = []
+
+
 def build_cluster(
     protocol: str = "cx",
     num_servers: int = 4,
@@ -34,15 +39,43 @@ def build_cluster(
     procs_per_client: int = 2,
     params: SimParams | None = None,
     seed: int = 1,
+    trace: bool = True,
 ) -> Cluster:
-    return Cluster.build(
+    cluster = Cluster.build(
         num_servers=num_servers,
         num_clients=num_clients,
         protocol=get_protocol(protocol),
         params=params or SimParams(commit_timeout=0.05),
         procs_per_client=procs_per_client,
         seed=seed,
+        trace=trace,
     )
+    if trace:
+        _TRACED_CLUSTERS.append(cluster)
+    return cluster
+
+
+@pytest.fixture(autouse=True)
+def _audit_traces():
+    """Check the safety invariants on every traced Cx cluster a test built.
+
+    Safety violations (torn decisions, log records freed before their
+    decision, write-back before decision) are prefix-closed, so they can
+    be checked after any test regardless of whether the protocol was
+    quiesced.  Liveness needs a quiesced trace and is only asserted in
+    the dedicated obs tests.  The invariants are promises of the *Cx*
+    commitment protocol; the baseline protocols (serial, 2PC, central)
+    prune their logs without Cx decision records, so only Cx clusters
+    are audited.
+    """
+    _TRACED_CLUSTERS.clear()
+    yield
+    violations = []
+    for cluster in _TRACED_CLUSTERS:
+        if cluster.tracer.enabled and cluster.protocol.name == "cx":
+            violations += InvariantChecker(cluster.tracer.events).check_safety()
+    _TRACED_CLUSTERS.clear()
+    assert not violations, f"protocol safety violations: {violations[:5]}"
 
 
 @pytest.fixture

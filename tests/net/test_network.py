@@ -56,6 +56,31 @@ class TestDelivery:
         net.stats.reset()
         assert net.stats.total == 0
 
+    def test_stats_exclude_liveness_probes(self, sim, net, pair):
+        """PING/PONG are background traffic: counted by kind only, kept
+        out of TOTAL and TOTAL_BYTES (the paper's Table IV counts the
+        replay's own messages)."""
+        a, b = pair
+        a.send("b", MessageKind.PING)
+        b.send("a", MessageKind.PONG)
+        a.send("b", MessageKind.REQ)
+        sim.run()
+        assert net.stats.count(MessageKind.PING) == 1
+        assert net.stats.count(MessageKind.PONG) == 1
+        assert net.stats.total == 1
+        req_bytes = net.stats.total_bytes
+        assert req_bytes > 0
+
+        snap = net.stats.snapshot()
+        assert snap["TOTAL"] == 1
+        assert snap["TOTAL_BYTES"] == req_bytes
+        assert snap[MessageKind.PING.value] == 1
+
+    def test_snapshot_has_totals_when_empty(self, net):
+        snap = net.stats.snapshot()
+        assert snap["TOTAL"] == 0
+        assert snap["TOTAL_BYTES"] == 0
+
 
 class TestRpc:
     def test_request_response_matching(self, sim, net, pair):

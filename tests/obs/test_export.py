@@ -1,0 +1,96 @@
+"""Unit tests for the JSONL and Chrome trace-event exporters."""
+
+import io
+import json
+
+from repro.obs import (
+    PHASE_EXEC,
+    Tracer,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+class Clock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+
+def sample_tracer() -> Tracer:
+    clk = Clock(0.001)
+    t = Tracer(clk)
+    span = t.begin("exec", "mds0", op_id=(1, 1, 1), phase=PHASE_EXEC, role="coord")
+    clk.now = 0.002
+    span.end(ok=True)
+    t.event("wal.prune", "mds0", cat="wal", op_id=(1, 1, 1), freed=96)
+    t.event("trigger", "mds1", cat="commit", kind="timeout")
+    return t
+
+
+class TestJsonl:
+    def test_one_json_object_per_event(self):
+        t = sample_tracer()
+        lines = to_jsonl(t.events).splitlines()
+        assert len(lines) == len(t.events)
+        first = json.loads(lines[0])
+        assert first["name"] == "exec"
+        assert first["op_id"] == [1, 1, 1]
+
+    def test_write_to_file_object(self):
+        buf = io.StringIO()
+        write_jsonl(sample_tracer().events, buf)
+        assert buf.getvalue().endswith("\n")
+        for line in buf.getvalue().strip().splitlines():
+            json.loads(line)
+
+
+class TestChromeTrace:
+    def test_structure(self):
+        doc = to_chrome_trace(sample_tracer().events)
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        events = doc["traceEvents"]
+        # every simulated node appears as a named process
+        names = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert names == {"mds0", "mds1"}
+
+    def test_span_converted_to_microseconds(self):
+        doc = to_chrome_trace(sample_tracer().events)
+        (span,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert span["ts"] == 1000.0  # 0.001 s
+        assert span["dur"] == 1000.0  # 1 ms long
+        assert span["args"]["op_id"] == "1:1:1"
+        assert span["cat"] == PHASE_EXEC
+
+    def test_ops_get_their_own_thread_lane(self):
+        doc = to_chrome_trace(sample_tracer().events)
+        span = next(e for e in doc["traceEvents"] if e["ph"] == "X")
+        node_lane = next(
+            e for e in doc["traceEvents"]
+            if e["ph"] == "i" and e["name"] == "trigger"
+        )
+        assert span["tid"] != 0  # op events live in a per-op lane
+        assert node_lane["tid"] == 0  # node-level events in lane 0
+        lane_names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert "op 1:1:1" in lane_names
+
+    def test_instants_are_thread_scoped(self):
+        doc = to_chrome_trace(sample_tracer().events)
+        for e in doc["traceEvents"]:
+            if e["ph"] == "i":
+                assert e["s"] == "t"
+
+    def test_write_produces_valid_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(sample_tracer().events, str(path))
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]

@@ -1,0 +1,95 @@
+"""Unit tests for the per-server metrics registry."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, merge_snapshots
+
+
+class TestPrimitives:
+    def test_counter(self):
+        reg = MetricsRegistry("mds0")
+        reg.counter("commit.batches").inc()
+        reg.counter("commit.batches").inc(4)
+        assert reg.counter("commit.batches").value == 5
+
+    def test_gauge_tracks_high_water_mark(self):
+        g = MetricsRegistry("mds0").gauge("commit.queue_depth")
+        g.set(3)
+        g.set(10)
+        g.set(2)
+        assert g.value == 2
+        assert g.max == 10
+
+    def test_histogram_stats(self):
+        h = MetricsRegistry("mds0").histogram("commit.batch_size")
+        for v in (1.0, 2.0, 3.0, 10.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == pytest.approx(16.0)
+        assert h.mean == pytest.approx(4.0)
+        assert h.percentile(50) == pytest.approx(2.5)
+
+    def test_accessors_get_or_create(self):
+        reg = MetricsRegistry("mds0")
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+
+class TestSnapshots:
+    def test_snapshot_shapes(self):
+        reg = MetricsRegistry("mds0")
+        reg.counter("wal.appends").inc(7)
+        reg.gauge("wal.valid_bytes").set(128)
+        reg.histogram("wal.sync_bytes").observe(64.0)
+        snap = reg.snapshot()
+        assert snap["wal.appends"] == 7
+        assert snap["wal.valid_bytes"] == {"value": 128, "max": 128}
+        assert snap["wal.sync_bytes"]["count"] == 1
+        assert snap["wal.sync_bytes"]["p50"] == pytest.approx(64.0)
+
+    def test_empty_histogram_snapshot(self):
+        snap = MetricsRegistry("x").histogram("h").snapshot()
+        assert snap["count"] == 0
+        assert snap["mean"] == 0.0
+
+    def test_render_mentions_name_and_metrics(self):
+        reg = MetricsRegistry("mds3")
+        reg.counter("conflicts").inc()
+        text = reg.render()
+        assert "[mds3]" in text
+        assert "conflicts: 1" in text
+
+
+class TestMerge:
+    def test_merge_sums_counters_and_histograms(self):
+        a, b = MetricsRegistry("mds0"), MetricsRegistry("mds1")
+        a.counter("commit.decisions").inc(3)
+        b.counter("commit.decisions").inc(2)
+        a.histogram("commit.latency").observe(1.0)
+        b.histogram("commit.latency").observe(3.0)
+        merged = merge_snapshots([a, b])
+        assert merged["commit.decisions"] == 5
+        lat = merged["commit.latency"]
+        assert lat["count"] == 2
+        assert lat["sum"] == pytest.approx(4.0)
+        assert lat["mean"] == pytest.approx(2.0)
+        assert lat["min"] == 1.0 and lat["max"] == 3.0
+        # quantiles are not mergeable across servers and must be dropped
+        assert "p50" not in lat and "p99" not in lat
+
+    def test_merge_gauges_max_of_high_water_marks(self):
+        a, b = MetricsRegistry("mds0"), MetricsRegistry("mds1")
+        a.gauge("commit.queue_depth").set(4)
+        b.gauge("commit.queue_depth").set(9)
+        merged = merge_snapshots([a, b])
+        assert merged["commit.queue_depth"]["max"] == 9
+        assert merged["commit.queue_depth"]["value"] == 13
+
+    def test_merge_skips_empty_histograms_min(self):
+        a, b = MetricsRegistry("mds0"), MetricsRegistry("mds1")
+        a.histogram("h").observe(5.0)
+        b.histogram("h")  # created but never observed
+        merged = merge_snapshots([a, b])
+        assert merged["h"]["count"] == 1
+        assert merged["h"]["min"] == 5.0

@@ -1,0 +1,90 @@
+"""Unit tests for the structured tracer (spans, events, null tracer)."""
+
+from repro.obs import (
+    NULL_TRACER,
+    PHASE_COMMIT,
+    PHASE_EXEC,
+    NullTracer,
+    Tracer,
+)
+
+
+class Clock:
+    """Minimal stand-in for the simulator's virtual clock."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+
+class TestTracer:
+    def test_instant_event_recorded(self):
+        clk = Clock(2.5)
+        t = Tracer(clk)
+        t.event("trigger", "mds0", cat="commit", kind="timeout")
+        (e,) = t.events
+        assert e.name == "trigger"
+        assert e.ph == "i"
+        assert e.ts == 2.5
+        assert e.node == "mds0"
+        assert e.args == {"kind": "timeout"}
+
+    def test_span_stamps_duration(self):
+        clk = Clock(1.0)
+        t = Tracer(clk)
+        span = t.begin("exec", "mds1", op_id=(1, 1, 1), phase=PHASE_EXEC)
+        clk.now = 1.5
+        span.end(ok=True)
+        (e,) = t.events
+        assert e.ph == "X"
+        assert e.ts == 1.0
+        assert e.dur == 0.5
+        assert e.phase == PHASE_EXEC
+        assert e.args["ok"] is True
+
+    def test_span_end_is_idempotent(self):
+        t = Tracer(Clock())
+        span = t.begin("exec", "mds0")
+        span.end()
+        span.end(ok=False)  # second end must not append another record
+        assert len(t.events) == 1
+        assert "ok" not in t.events[0].args
+
+    def test_bind_attaches_clock(self):
+        t = Tracer()
+        assert t.now() == 0.0
+        t.bind(Clock(7.0))
+        assert t.now() == 7.0
+
+    def test_queries(self):
+        clk = Clock()
+        t = Tracer(clk)
+        t.begin("exec", "mds0", op_id=(1, 1, 1), phase=PHASE_EXEC).end()
+        t.begin("commitment", "mds0", op_id=(1, 1, 1), phase=PHASE_COMMIT).end()
+        t.event("decision", "mds1", op_id=(1, 1, 2), committed=True)
+        assert len(t.spans()) == 2
+        assert len(t.spans(name="exec")) == 1
+        assert len(t.spans(phase=PHASE_COMMIT)) == 1
+        assert len(t.events_for((1, 1, 1))) == 2
+        assert t.op_ids() == [(1, 1, 1), (1, 1, 2)]
+        t.clear()
+        assert t.events == []
+
+    def test_to_dict_serializes_op_id_as_list(self):
+        t = Tracer(Clock())
+        t.event("decision", "mds0", op_id=(3, 2, 1), committed=True)
+        d = t.events[0].to_dict()
+        assert d["op_id"] == [3, 2, 1]
+        assert d["args"] == {"committed": True}
+
+
+class TestNullTracer:
+    def test_disabled_and_records_nothing(self):
+        assert NULL_TRACER.enabled is False
+        NULL_TRACER.event("x", "mds0", op_id=(1, 1, 1))
+        span = NULL_TRACER.begin("exec", "mds0")
+        span.end(ok=True)
+        assert NULL_TRACER.events == []
+
+    def test_singleton_span_shared(self):
+        t = NullTracer()
+        assert t.begin("a", "n") is t.begin("b", "m")
