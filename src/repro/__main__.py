@@ -27,6 +27,7 @@ the paper-vs-measured discussion.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
@@ -94,7 +95,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (table1..table5, fig4..fig9), 'trace <exp>', "
-             "'all', or 'list'",
+             "'bench', 'all', or 'list'",
     )
     parser.add_argument(
         "target", nargs="?", default=None,
@@ -102,6 +103,11 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0,
                         help="master RNG seed (default 0)")
+    parser.add_argument("--jobs", "-j", type=int, default=None,
+                        help="worker processes for experiment grids "
+                             "(1 = serial, 0 = all cores; results are "
+                             "identical for any value; default: serial, "
+                             "or 8 for bench's parallel arm)")
     parser.add_argument("--trace", metavar="FILE", default=None,
                         help="run a traced replay and write the Chrome "
                              "trace-event JSON to FILE")
@@ -118,7 +124,19 @@ def main(argv=None) -> int:
                              "(default: the experiment's canonical trace)")
     parser.add_argument("--scale", type=float, default=None,
                         help="replay scale override for a traced replay")
+    parser.add_argument("--quick", action="store_true",
+                        help="bench: smaller grid and replay scale "
+                             "(CI smoke configuration)")
+    parser.add_argument("--out-dir", metavar="DIR", default=".",
+                        help="bench: directory for BENCH_*.json (default .)")
     args = parser.parse_args(argv)
+
+    if args.experiment == "bench":
+        from repro.runner.bench import run_bench
+
+        run_bench(jobs=args.jobs, quick=args.quick, seed=args.seed,
+                  out_dir=args.out_dir)
+        return 0
 
     if args.experiment == "trace" or args.trace or args.metrics:
         return _run_traced(args, parser)
@@ -142,11 +160,13 @@ def main(argv=None) -> int:
 
     for name in names:
         runner = registry[name]
+        # Spec tables take no seed; only grid experiments fan out.
+        accepted = inspect.signature(runner).parameters
+        jobs = 1 if args.jobs is None else args.jobs
+        kwargs = {k: v for k, v in (("seed", args.seed), ("jobs", jobs))
+                  if k in accepted}
         start = time.time()
-        try:
-            result = runner(seed=args.seed)
-        except TypeError:
-            result = runner()  # spec tables take no seed
+        result = runner(**kwargs)
         elapsed = time.time() - start
         print(result.text)
         print(f"[{name} regenerated in {elapsed:.1f}s wall]\n")

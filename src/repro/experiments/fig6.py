@@ -10,15 +10,16 @@ disk under the update-dominated load while Cx stays latency-bound, so
 the update-dominated gain overshoots the paper's 1.7-1.8x.  The
 qualitative claims (ordering, near-linear scaling, update > read gains)
 hold.
+
+Every (workload x servers x system) point is an independent cluster,
+so the grid fans across the parallel runner (``jobs``).
 """
 
 from __future__ import annotations
 
 from repro.analysis.tables import render_series
-from repro.experiments.common import ExperimentResult, experiment_params
-from repro.cluster.builder import Cluster
-from repro.protocols import get_protocol
-from repro.workloads import MetaratesWorkload, replay_streams
+from repro.experiments.common import ExperimentResult, grid_summaries
+from repro.runner import ReplayTask
 
 #: Client-side application time between operations (the MPI benchmark's
 #: own work); calibrates the offered load.
@@ -30,41 +31,54 @@ SYSTEMS = ("ofs", "ofs-batched", "cx")
 def run_one(num_servers: int, update_fraction: float, protocol: str,
             ops_per_process: int = 30, preload_per_server: int = 400,
             seed: int = 1):
-    cluster = Cluster.build(
-        num_servers=num_servers,
-        num_clients=4 * num_servers,          # paper: clients = 4 x servers
-        protocol=get_protocol(protocol),
-        params=experiment_params(),
-        procs_per_client=8,                   # paper: 8 processes per client
+    """One Metarates point, executed in-process (kept for direct use)."""
+    from repro.runner import execute_task
+
+    return execute_task(ReplayTask(
+        kind="metarates", protocol=protocol, num_servers=num_servers,
+        update_fraction=update_fraction, ops_per_process=ops_per_process,
+        preload_per_server=preload_per_server, think_time=THINK_TIME,
         seed=seed,
-    )
-    wl = MetaratesWorkload(update_fraction=update_fraction,
-                           ops_per_process=ops_per_process,
-                           preload_per_server=preload_per_server, seed=seed)
-    streams = wl.build(cluster, cluster.all_processes())
-    return replay_streams(cluster, streams, think_time=THINK_TIME)
+    ))
 
 
 def run_fig6(server_counts=(4, 8, 16, 32), workloads=("update", "read"),
-             ops_per_process: int = 30, seed: int = 1) -> ExperimentResult:
+             ops_per_process: int = 30, seed: int = 1,
+             jobs: int = 1) -> ExperimentResult:
+    cells = [
+        (workload, n, name)
+        for workload in workloads
+        for n in server_counts
+        for name in SYSTEMS
+    ]
+    tasks = [
+        ReplayTask(
+            kind="metarates", protocol=name, num_servers=n,
+            update_fraction=0.8 if workload == "update" else 0.2,
+            ops_per_process=ops_per_process, think_time=THINK_TIME,
+            seed=seed,
+        )
+        for workload, n, name in cells
+    ]
+    summaries = dict(zip(cells, grid_summaries(tasks, jobs=jobs)))
+
     rows = []
     texts = []
     for workload in workloads:
-        frac = 0.8 if workload == "update" else 0.2
-        series = {name: [] for name in SYSTEMS}
-        for n in server_counts:
-            for name in SYSTEMS:
-                res = run_one(n, frac, name, ops_per_process=ops_per_process,
-                              seed=seed)
-                series[name].append(res.throughput)
+        series = {
+            name: [summaries[(workload, n, name)].throughput
+                   for n in server_counts]
+            for name in SYSTEMS
+        }
+        for i, n in enumerate(server_counts):
             rows.append(
                 {
                     "workload": workload,
                     "servers": n,
-                    "ofs": series["ofs"][-1],
-                    "ofs-batched": series["ofs-batched"][-1],
-                    "cx": series["cx"][-1],
-                    "cx_gain": series["cx"][-1] / series["ofs"][-1] - 1,
+                    "ofs": series["ofs"][i],
+                    "ofs-batched": series["ofs-batched"][i],
+                    "cx": series["cx"][i],
+                    "cx_gain": series["cx"][i] / series["ofs"][i] - 1,
                 }
             )
         texts.append(

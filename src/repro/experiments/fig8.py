@@ -5,74 +5,47 @@ cross-server operations in the home2 trace" — the injected lookups ride
 the replayed workload itself: before an operation, a process may first
 look up an object that some *pending* (executed-but-uncommitted)
 operation touched, which is a guaranteed conflict and forces an
-immediate commitment on the replay's critical path.  Replay time and
-message cost of OFS-Cx rise with the achieved conflict ratio; the paper
-observes OFS-Cx still beats OFS until the ratio reaches ~20%.
+immediate commitment on the replay's critical path (the injection loop
+lives in :func:`repro.workloads.replay_streams_with_injection`).
+Replay time and message cost of OFS-Cx rise with the achieved conflict
+ratio; the paper observes OFS-Cx still beats OFS until the ratio
+reaches ~20%.
+
+The OFS baseline and every injection level are independent replays, so
+the sweep fans across the parallel runner (``jobs``).
 """
 
 from __future__ import annotations
 
 from repro.analysis.tables import render_table
-from repro.experiments.common import (
-    ExperimentResult,
-    TRACE_SCALES,
-    build_trace_cluster,
-    run_trace_protocol,
-)
-from repro.workloads import TRACE_SPECS, TraceWorkload, build_probe_op
+from repro.experiments.common import ExperimentResult, grid_summaries
+from repro.runner import ReplayTask
 
 #: Per-operation injection probabilities sweeping the conflict ratio
 #: from the trace's native value toward the paper's ~20%+ regime.
 DEFAULT_INJECT = (0.0, 0.02, 0.06, 0.12, 0.25, 0.45)
 
 
-def _replay_with_injection(trace: str, p_inject: float, seed: int):
-    cluster = build_trace_cluster("cx", seed=seed)
-    wl = TraceWorkload(TRACE_SPECS[trace], scale=TRACE_SCALES[trace], seed=seed)
-    streams = wl.build(cluster, cluster.all_processes())
-    sim = cluster.sim
-    cluster.network.stats.reset()
-    rng = cluster.rngs.stream(f"fig8:{seed}")
-
-    def runner(proc, ops):
-        for op in ops:
-            if p_inject > 0 and rng.random() < p_inject:
-                probe = build_probe_op(cluster, proc, rng)
-                if probe is not None:
-                    yield from proc.perform(probe)
-            yield from proc.perform(op)
-
-    runners = [sim.process(runner(proc, ops)) for proc, ops in streams.items()]
-    done = sim.all_of(runners)
-    start = sim.now
-    while not done.processed:
-        if sim.peek() == float("inf"):
-            raise RuntimeError("fig8 replay deadlocked")
-        sim.step()
-    replay_time = sim.now - start
-    cluster.quiesce_protocol()
-    m = cluster.metrics
-    return {
-        "replay_time": replay_time,
-        "total_ops": m.total_ops,
-        "conflict_ratio": m.conflict_ratio,
-        "messages": cluster.network.stats.total,
-    }
-
-
-def run_fig8(trace: str = "home2", inject=DEFAULT_INJECT, seed: int = 0):
-    ofs = run_trace_protocol(trace, "ofs", seed=seed)
+def run_fig8(trace: str = "home2", inject=DEFAULT_INJECT, seed: int = 0,
+             jobs: int = 1):
+    tasks = [ReplayTask(kind="trace", trace=trace, protocol="ofs", seed=seed)]
+    tasks += [
+        ReplayTask(kind="inject", trace=trace, protocol="cx",
+                   p_inject=p_inject, seed=seed)
+        for p_inject in inject
+    ]
+    summaries = grid_summaries(tasks, jobs=jobs)
+    ofs, cells = summaries[0], summaries[1:]
     rows = []
-    for p_inject in inject:
-        res = _replay_with_injection(trace, p_inject, seed)
+    for p_inject, res in zip(inject, cells):
         rows.append(
             {
                 "p_inject": p_inject,
-                "conflict_ratio": res["conflict_ratio"],
-                "cx_time": res["replay_time"],
-                "cx_vs_ofs": res["replay_time"] / ofs.replay_time,
-                "messages": res["messages"],
-                "message_ratio_vs_ofs": res["messages"] / ofs.messages,
+                "conflict_ratio": res.conflict_ratio,
+                "cx_time": res.replay_time,
+                "cx_vs_ofs": res.replay_time / ofs.replay_time,
+                "messages": res.messages,
+                "message_ratio_vs_ofs": res.messages / ofs.messages,
             }
         )
     text = render_table(

@@ -2,21 +2,28 @@
 
 Replays every synthetic trace under Cx at the canonical configuration
 and reports the *measured* conflict ratio next to the paper's value.
+The six trace replays are independent, so they fan across the parallel
+runner (``jobs``).
 """
 
 from __future__ import annotations
 
 
 from repro.analysis.tables import render_table
-from repro.experiments.common import ExperimentResult, run_trace_protocol
+from repro.experiments.common import ExperimentResult, grid_summaries
+from repro.runner import ReplayTask
 from repro.workloads import TRACE_SPECS
 
 
-def run_table2(traces=None, seed: int = 0) -> ExperimentResult:
+def run_table2(traces=None, seed: int = 0, jobs: int = 1) -> ExperimentResult:
     traces = traces or list(TRACE_SPECS)
+    tasks = [
+        ReplayTask(kind="trace", trace=trace, protocol="cx", seed=seed)
+        for trace in traces
+    ]
+    summaries = grid_summaries(tasks, jobs=jobs)
     rows = []
-    for trace in traces:
-        res = run_trace_protocol(trace, "cx", seed=seed)
+    for trace, res in zip(traces, summaries):
         spec = TRACE_SPECS[trace]
         rows.append(
             {

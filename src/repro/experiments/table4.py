@@ -3,13 +3,16 @@
 The paper reports total messages (in millions, full traces) and Cx's
 overhead: "less than 4%", increasing with the conflict ratio.  We
 report the same ratio at the replay scale (message *counts* scale with
-the replay; their ratio is scale-free).
+the replay; their ratio is scale-free).  The (trace x system) cells are
+independent replays, so the grid fans across the parallel runner
+(``jobs``).
 """
 
 from __future__ import annotations
 
 from repro.analysis.tables import render_table
-from repro.experiments.common import ExperimentResult, run_trace_protocol
+from repro.experiments.common import ExperimentResult, grid_summaries
+from repro.runner import ReplayTask
 from repro.workloads import TRACE_SPECS
 
 #: The paper's Table IV overheads per trace.
@@ -19,12 +22,17 @@ PAPER_OVERHEAD = {
 }
 
 
-def run_table4(traces=None, seed: int = 0) -> ExperimentResult:
+def run_table4(traces=None, seed: int = 0, jobs: int = 1) -> ExperimentResult:
     traces = traces or list(TRACE_SPECS)
+    tasks = [
+        ReplayTask(kind="trace", trace=trace, protocol=name, seed=seed)
+        for trace in traces
+        for name in ("ofs", "cx")
+    ]
+    summaries = grid_summaries(tasks, jobs=jobs)
     rows = []
-    for trace in traces:
-        ofs = run_trace_protocol(trace, "ofs", seed=seed)
-        cx = run_trace_protocol(trace, "cx", seed=seed)
+    for i, trace in enumerate(traces):
+        ofs, cx = summaries[2 * i], summaries[2 * i + 1]
         overhead = cx.messages / ofs.messages - 1
         rows.append(
             {

@@ -7,8 +7,6 @@ the request/response kinds shared by all protocols (2PC, SE, CE, Cx).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from itertools import count
 from typing import Any, Dict, Optional
 
 
@@ -80,25 +78,45 @@ PROTOCOL_MESSAGE_TABLE: Dict[MessageKind, tuple[str, str, str]] = {
     MessageKind.ALL_NO: ("Denotes all executions of sub-ops have been aborted", "Coor", "Pro"),
 }
 
-_msg_ids = count(1)
+_next_msg_id = 1
 
 
-@dataclass
 class Message:
     """One message on the simulated wire.
 
     ``payload`` is an arbitrary dict owned by the protocol layer;
     ``reply_to`` links a response to the msg_id of its request, which is
     how the RPC helper matches them up.
+
+    A plain ``__slots__`` class rather than a dataclass: replays
+    allocate one per wire message (tens of thousands per experiment
+    cell), and the dataclass ``__init__`` with two ``default_factory``
+    fields costs several times a hand-written constructor.
     """
 
-    kind: MessageKind
-    src: str
-    dst: str
-    payload: Dict[str, Any] = field(default_factory=dict)
-    size: int = 200
-    msg_id: int = field(default_factory=lambda: next(_msg_ids))
-    reply_to: Optional[int] = None
+    __slots__ = ("kind", "src", "dst", "payload", "size", "msg_id", "reply_to")
+
+    def __init__(
+        self,
+        kind: MessageKind,
+        src: str,
+        dst: str,
+        payload: Optional[Dict[str, Any]] = None,
+        size: int = 200,
+        msg_id: Optional[int] = None,
+        reply_to: Optional[int] = None,
+    ) -> None:
+        self.kind = kind
+        self.src = src
+        self.dst = dst
+        self.payload = {} if payload is None else payload
+        self.size = size
+        if msg_id is None:
+            global _next_msg_id
+            msg_id = _next_msg_id
+            _next_msg_id = msg_id + 1
+        self.msg_id = msg_id
+        self.reply_to = reply_to
 
     def reply(self, kind: MessageKind, payload: Optional[Dict[str, Any]] = None,
               size: int = 200) -> "Message":
@@ -110,4 +128,11 @@ class Message:
             payload=payload or {},
             size=size,
             reply_to=self.msg_id,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Message(kind={self.kind!r}, src={self.src!r}, dst={self.dst!r}, "
+            f"payload={self.payload!r}, size={self.size!r}, "
+            f"msg_id={self.msg_id!r}, reply_to={self.reply_to!r})"
         )

@@ -16,6 +16,7 @@ from repro.net.stats import MessageStats
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.params import SimParams
 from repro.sim import Event, Simulator, Store
+from repro.sim.events import _PENDING
 
 if TYPE_CHECKING:  # pragma: no cover
     pass
@@ -23,6 +24,47 @@ if TYPE_CHECKING:  # pragma: no cover
 
 class UnknownNode(KeyError):
     """Message addressed to a node id that was never registered."""
+
+
+class _Delivery(Event):
+    """A pooled in-flight-message event.
+
+    One of these used to be allocated per message (an :class:`Event`
+    plus a ``_deliver`` closure) — the dominant allocation of the
+    network layer.  Delivery events are internal to the network: no
+    code outside :meth:`Network.send` ever holds a reference, so after
+    processing they are reset and returned to the network's free list
+    instead of being garbage.
+    """
+
+    __slots__ = ("network", "msg", "dst")
+
+    def __init__(self, network: "Network") -> None:
+        super().__init__(network.sim)
+        self.network = network
+        self.msg: Optional[Message] = None
+        self.dst: Optional["Node"] = None
+        self.callbacks.append(_Delivery._on_processed)  # type: ignore[union-attr]
+
+    @staticmethod
+    def _on_processed(ev: "_Delivery") -> None:
+        msg, dst, network = ev.msg, ev.dst, ev.network
+        ev.msg = ev.dst = None
+        if dst.crashed:
+            src = network.nodes.get(msg.src)
+            if src is not None:
+                waiter = src._pending_rpcs.pop(msg.msg_id, None)
+                if waiter is not None and not waiter.triggered:
+                    waiter.fail(ConnectionError(f"{msg.dst} is down"))
+        else:
+            dst.deliver(msg)
+        # Reset to pristine pending state and recycle.
+        ev.callbacks = [_Delivery._on_processed]
+        ev._value = _PENDING
+        ev._exc = None
+        ev._ok = None
+        ev._defused = False
+        network._free_deliveries.append(ev)
 
 
 class Network:
@@ -41,6 +83,8 @@ class Network:
         self.tracer = tracer or NULL_TRACER
         #: node id -> (net.sent, net.sent_bytes) counters, resolved once.
         self._send_counters: Dict[str, Optional[tuple]] = {}
+        #: free list of recycled delivery events (see :class:`_Delivery`).
+        self._free_deliveries: list[_Delivery] = []
 
     def register(self, node: "Node") -> None:
         if node.node_id in self.nodes:
@@ -79,19 +123,14 @@ class Network:
                 kind=msg.kind.value, dst=msg.dst, size=msg.size,
             )
 
-        def _deliver(_ev: Event) -> None:
-            if dst.crashed:
-                src = self.nodes.get(msg.src)
-                if src is not None:
-                    waiter = src._pending_rpcs.pop(msg.msg_id, None)
-                    if waiter is not None and not waiter.triggered:
-                        waiter.fail(ConnectionError(f"{msg.dst} is down"))
-                return
-            dst.deliver(msg)
-
-        ev = Event(self.sim)
-        ev.callbacks.append(_deliver)  # type: ignore[union-attr]
-        ev.succeed(delay=self.delay_for(msg))
+        free = self._free_deliveries
+        ev = free.pop() if free else _Delivery(self)
+        ev.msg = msg
+        ev.dst = dst
+        ev._ok = True
+        ev._value = None
+        # Via delay_for (not inlined): tests shim it to skew deliveries.
+        self.sim.schedule(ev, delay=self.delay_for(msg))
 
 
 class Node:

@@ -27,6 +27,7 @@ from repro.obs.registry import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    merge_snapshot_dicts,
     merge_snapshots,
 )
 from repro.obs.tracer import (
@@ -60,6 +61,7 @@ __all__ = [
     "Tracer",
     "Violation",
     "check_trace",
+    "merge_snapshot_dicts",
     "merge_snapshots",
     "to_chrome_trace",
     "to_jsonl",

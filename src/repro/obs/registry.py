@@ -146,14 +146,20 @@ class MetricsRegistry:
         return "\n".join(lines)
 
 
-def merge_snapshots(registries: Iterable[MetricsRegistry]) -> Dict[str, object]:
-    """Sum counters and histogram counts/sums across registries.
+def merge_snapshot_dicts(snapshots: Iterable[Dict[str, object]]) -> Dict[str, object]:
+    """Merge plain snapshot dicts (as produced by :meth:`MetricsRegistry.snapshot`).
 
-    Gauges aggregate by their high-water marks (max across servers).
+    Counters sum; gauges sum their values and keep the max high-water
+    mark; histogram summaries combine count/sum/min/max and recompute
+    the mean (quantiles are not mergeable and are dropped).  Snapshot
+    dicts — not registries — are the merge currency across process
+    boundaries: the parallel experiment runner ships per-server
+    snapshots back from its workers and folds them into the
+    cluster-wide view here.
     """
     merged: Dict[str, object] = {}
-    for reg in registries:
-        for name, value in reg.snapshot().items():
+    for snap in snapshots:
+        for name, value in snap.items():
             if isinstance(value, (int, float)):
                 merged[name] = merged.get(name, 0) + value
             elif "max" in value and "count" not in value:  # gauge
@@ -179,3 +185,11 @@ def merge_snapshots(registries: Iterable[MetricsRegistry]) -> Dict[str, object]:
                     prev["min"] = min(prev["min"], value["min"]) if value["count"] else prev["min"]
                     prev["max"] = max(prev["max"], value["max"])
     return merged
+
+
+def merge_snapshots(registries: Iterable[MetricsRegistry]) -> Dict[str, object]:
+    """Sum counters and histogram counts/sums across registries.
+
+    Gauges aggregate by their high-water marks (max across servers).
+    """
+    return merge_snapshot_dicts(reg.snapshot() for reg in registries)

@@ -1,0 +1,38 @@
+"""Parallel experiment runner.
+
+Experiment grids decompose into independent replay cells; this package
+describes each cell as a picklable :class:`ReplayTask`, executes grids
+serially or across a process pool (:func:`run_tasks`), and returns
+deterministic, task-ordered :class:`TaskOutcome` lists whatever the
+completion order was.
+"""
+
+from repro.runner.pool import (
+    RunnerResult,
+    TaskFailed,
+    TaskOutcome,
+    resolve_jobs,
+    run_tasks,
+)
+from repro.runner.tasks import (
+    KIND_INJECT,
+    KIND_METARATES,
+    KIND_TRACE,
+    ReplaySummary,
+    ReplayTask,
+    execute_task,
+)
+
+__all__ = [
+    "KIND_INJECT",
+    "KIND_METARATES",
+    "KIND_TRACE",
+    "ReplaySummary",
+    "ReplayTask",
+    "RunnerResult",
+    "TaskFailed",
+    "TaskOutcome",
+    "execute_task",
+    "resolve_jobs",
+    "run_tasks",
+]

@@ -1,0 +1,229 @@
+"""``python -m repro bench`` — the repo's wall-clock perf trajectory.
+
+Two benchmark families, two JSON artifacts:
+
+* **BENCH_kernel.json** — single-core kernel numbers: a pure
+  event-loop microbenchmark (timeout churn through the inlined run
+  loop, no protocol logic) and canonical trace replays per protocol,
+  each reported as events/sec and ops/sec of wall-clock time.
+* **BENCH_experiments.json** — the experiment-grid numbers: the fig5
+  grid run serially and through the parallel runner *in the same
+  invocation*, with the wall-clock speedup recorded next to the host's
+  core count (speedup tracks ``min(jobs, cores, cells)`` — a 1-core
+  host shows ~1x however many workers fan out).
+
+Artifacts are plain JSON so successive runs diff cleanly; later perf
+PRs are measured against the trajectory these files establish.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Dict, List, Optional
+
+from repro.runner.pool import resolve_jobs, run_tasks
+from repro.runner.tasks import ReplayTask
+
+KERNEL_FILE = "BENCH_kernel.json"
+EXPERIMENTS_FILE = "BENCH_experiments.json"
+
+#: Protocols timed by the kernel replay benchmark.
+PROTOCOLS = ("ofs", "ofs-batched", "cx")
+
+#: Canonical replay cell for the per-protocol timing.
+BENCH_TRACE = "CTH"
+
+#: Event-loop microbenchmark size (events popped, roughly).
+LOOP_EVENTS = 400_000
+LOOP_EVENTS_QUICK = 40_000
+
+
+def _host() -> Dict[str, object]:
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+
+
+def bench_event_loop(quick: bool = False) -> Dict[str, object]:
+    """Raw kernel throughput: timeout churn with no protocol on top.
+
+    100 generator processes ping-pong through ``sim.timeout`` until the
+    target event count is reached — the same schedule/pop/resume cycle
+    every replay event pays, isolated from file-system logic.
+    """
+    from repro.sim import Simulator
+
+    target = LOOP_EVENTS_QUICK if quick else LOOP_EVENTS
+    sim = Simulator()
+    workers = 100
+    # Each timeout costs two popped events (the Timeout, then the
+    # process-resume event), so halve the per-worker iteration count.
+    per_worker = max(1, target // (2 * workers))
+
+    def ticker():
+        for _ in range(per_worker):
+            yield sim.timeout(1.0)
+
+    for _ in range(workers):
+        sim.process(ticker())
+    start = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - start
+    return {
+        "events": sim.events_processed,
+        "wall_seconds": wall,
+        "events_per_sec": sim.events_processed / wall if wall > 0 else 0.0,
+    }
+
+
+def bench_replays(quick: bool = False, seed: int = 0) -> Dict[str, dict]:
+    """Canonical trace replay per protocol, timed end to end.
+
+    Cells run in-process (``jobs=1``): these numbers are the
+    single-core kernel trajectory, so no pool overhead may pollute
+    them.  The first cell generates the trace streams; later protocols
+    reuse them from the stream-plan cache exactly as an experiment row
+    does, so ``wall_seconds`` is replay cost, not generation cost.
+    """
+    scale = 0.002 if quick else None
+    tasks = [
+        ReplayTask(kind="trace", trace=BENCH_TRACE, protocol=protocol,
+                   seed=seed, scale=scale)
+        for protocol in PROTOCOLS
+    ]
+    # Warm the stream-plan cache so protocol 0 is not charged for
+    # generating the streams the others reuse.
+    run_tasks(tasks[:1], jobs=1)
+    result = run_tasks(tasks, jobs=1)
+    replays = {}
+    for outcome in result.outcomes:
+        s = outcome.summary
+        replays[outcome.task.protocol] = {
+            "trace": BENCH_TRACE,
+            "wall_seconds": outcome.wall_time,
+            "events": s.events_processed,
+            "events_per_sec": (
+                s.events_processed / outcome.wall_time
+                if outcome.wall_time > 0 else 0.0
+            ),
+            "ops": s.total_ops,
+            "ops_per_sec": (
+                s.total_ops / outcome.wall_time
+                if outcome.wall_time > 0 else 0.0
+            ),
+            "sim_replay_time": s.replay_time,
+        }
+    return replays
+
+
+def bench_kernel(quick: bool = False, seed: int = 0) -> Dict[str, object]:
+    return {
+        "bench": "kernel",
+        "quick": quick,
+        "host": _host(),
+        "event_loop": bench_event_loop(quick=quick),
+        "replays": bench_replays(quick=quick, seed=seed),
+    }
+
+
+def _fig5_tasks(traces: List[str], seed: int) -> List[ReplayTask]:
+    return [
+        ReplayTask(kind="trace", trace=trace, protocol=protocol, seed=seed)
+        for trace in traces
+        for protocol in PROTOCOLS
+    ]
+
+
+def bench_experiments(
+    jobs: Optional[int] = None, quick: bool = False, seed: int = 0
+) -> Dict[str, object]:
+    """The fig5 grid, serial vs fanned out, in the same invocation."""
+    from repro.workloads import TRACE_SPECS
+
+    traces = ["CTH", "home2"] if quick else list(TRACE_SPECS)
+    # The trajectory's reference configuration is 8 workers; an
+    # explicit --jobs overrides it (0 = all cores).
+    jobs = 8 if jobs is None else resolve_jobs(jobs)
+    tasks = _fig5_tasks(traces, seed)
+
+    serial = run_tasks(tasks, jobs=1)
+    parallel = run_tasks(tasks, jobs=jobs)
+
+    identical = [
+        (a.summary.protocol, a.summary.replay_time, a.summary.total_ops,
+         a.summary.messages)
+        == (b.summary.protocol, b.summary.replay_time, b.summary.total_ops,
+            b.summary.messages)
+        for a, b in zip(serial.outcomes, parallel.outcomes)
+    ]
+    return {
+        "bench": "experiments",
+        "quick": quick,
+        "host": _host(),
+        "experiment": "fig5",
+        "traces": traces,
+        "cells": len(tasks),
+        "jobs": parallel.jobs,
+        "fell_back_serial": parallel.fell_back_serial,
+        "serial_wall_seconds": serial.wall_time,
+        "parallel_wall_seconds": parallel.wall_time,
+        "speedup": (
+            serial.wall_time / parallel.wall_time
+            if parallel.wall_time > 0 else 0.0
+        ),
+        "results_identical": all(identical),
+        "cell_wall_seconds": {
+            f"{o.task.trace}/{o.task.protocol}": o.wall_time
+            for o in serial.outcomes
+        },
+    }
+
+
+def render_bench(kernel: Dict[str, object],
+                 experiments: Dict[str, object]) -> str:
+    lines = []
+    loop = kernel["event_loop"]
+    lines.append(
+        f"kernel event loop: {loop['events']} events in "
+        f"{loop['wall_seconds']:.2f}s = {loop['events_per_sec']:,.0f} events/s"
+    )
+    for protocol, r in kernel["replays"].items():
+        lines.append(
+            f"replay {r['trace']}/{protocol}: {r['wall_seconds']:.2f}s, "
+            f"{r['events_per_sec']:,.0f} events/s, {r['ops_per_sec']:,.0f} ops/s"
+        )
+    lines.append(
+        f"fig5 grid ({experiments['cells']} cells, "
+        f"{experiments['jobs']} jobs, {experiments['host']['cpu_count']} cores): "
+        f"serial {experiments['serial_wall_seconds']:.1f}s, "
+        f"parallel {experiments['parallel_wall_seconds']:.1f}s, "
+        f"speedup {experiments['speedup']:.2f}x, "
+        f"identical={experiments['results_identical']}"
+    )
+    return "\n".join(lines)
+
+
+def run_bench(
+    jobs: Optional[int] = None,
+    quick: bool = False,
+    seed: int = 0,
+    out_dir: str = ".",
+) -> Dict[str, str]:
+    """Run both benches, write the JSON artifacts, print the summary."""
+    kernel = bench_kernel(quick=quick, seed=seed)
+    experiments = bench_experiments(jobs=jobs, quick=quick, seed=seed)
+    paths = {}
+    for name, payload in ((KERNEL_FILE, kernel), (EXPERIMENTS_FILE, experiments)):
+        path = os.path.join(out_dir, name)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        paths[name] = path
+    print(render_bench(kernel, experiments))
+    print(f"wrote {paths[KERNEL_FILE]} and {paths[EXPERIMENTS_FILE]}")
+    return paths

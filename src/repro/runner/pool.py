@@ -1,0 +1,184 @@
+"""Fan independent replay cells across a process pool.
+
+The experiment grids are embarrassingly parallel — every (trace ×
+protocol × num_servers × seed) cell replays on its own private cluster
+— so the runner practices what the paper preaches: independent work
+runs concurrently, and the per-cell results are merged afterwards.
+
+Guarantees:
+
+* **Deterministic ordering** — outcomes come back in task-list order,
+  whatever the completion order was.
+* **Per-task seeding** — every task carries its own seed; results are
+  identical for ``jobs=1`` and ``jobs=N``.
+* **Worker-side exception capture** — a failing cell does not tear
+  down the pool; the traceback travels back in its outcome.
+* **Serial fallback** — ``jobs=1`` never touches multiprocessing, and
+  a pool that cannot start (sandboxed platforms, no semaphores)
+  degrades to the serial path with a warning instead of crashing.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.registry import merge_snapshot_dicts
+from repro.runner.tasks import ReplaySummary, ReplayTask, execute_task
+
+
+class TaskFailed(RuntimeError):
+    """At least one task raised in its worker; see ``failures``."""
+
+    def __init__(self, failures: List["TaskOutcome"]) -> None:
+        self.failures = failures
+        first = failures[0]
+        super().__init__(
+            f"{len(failures)} of the submitted tasks failed; first: "
+            f"task #{first.index} ({first.task.kind}/{first.task.trace or '-'}/"
+            f"{first.task.protocol}):\n{first.error}"
+        )
+
+
+@dataclass
+class TaskOutcome:
+    """One task's result: a summary on success, a traceback on failure."""
+
+    index: int
+    task: ReplayTask
+    summary: Optional[ReplaySummary] = None
+    #: Formatted traceback when the worker raised; None on success.
+    error: Optional[str] = None
+    #: Wall-clock seconds the task took inside its worker.
+    wall_time: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class RunnerResult:
+    """All outcomes of one grid, in task order, plus merged metrics."""
+
+    outcomes: List[TaskOutcome]
+    jobs: int
+    wall_time: float
+    #: True when a requested pool could not start and the grid ran serially.
+    fell_back_serial: bool = False
+
+    @property
+    def summaries(self) -> List[Optional[ReplaySummary]]:
+        return [o.summary for o in self.outcomes]
+
+    @property
+    def failures(self) -> List[TaskOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def merged_cluster_metrics(self) -> Dict[str, object]:
+        """Cluster-wide metrics view folded across every task's servers.
+
+        Workers cannot share live registries across process boundaries;
+        they ship per-server snapshot dicts, merged here (counters sum,
+        gauges keep high-water marks, histograms combine moments).
+        """
+        per_server: List[Dict[str, object]] = []
+        for o in self.outcomes:
+            if o.summary is None:
+                continue
+            per_server.extend(
+                snap for node, snap in o.summary.server_metrics.items()
+                if node != "cluster"
+            )
+        return merge_snapshot_dicts(per_server)
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value (None/0 -> all cores)."""
+    if jobs is None or jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _run_one(index: int, task: ReplayTask) -> TaskOutcome:
+    start = time.perf_counter()
+    try:
+        summary = execute_task(task)
+    except Exception:
+        return TaskOutcome(
+            index=index,
+            task=task,
+            error=traceback.format_exc(),
+            wall_time=time.perf_counter() - start,
+        )
+    return TaskOutcome(
+        index=index,
+        task=task,
+        summary=summary,
+        wall_time=time.perf_counter() - start,
+    )
+
+
+def _run_serial(tasks: Sequence[ReplayTask]) -> List[TaskOutcome]:
+    return [_run_one(i, t) for i, t in enumerate(tasks)]
+
+
+def run_tasks(
+    tasks: Sequence[ReplayTask],
+    jobs: Optional[int] = 1,
+    raise_on_error: bool = True,
+) -> RunnerResult:
+    """Execute every task; return outcomes in task order.
+
+    ``jobs=1`` runs in-process (and benefits from the per-process
+    stream-plan cache across cells of the same trace); ``jobs>1`` fans
+    across a ``ProcessPoolExecutor``.  ``jobs=None`` or ``0`` uses all
+    cores.  With ``raise_on_error=False``, failed cells come back as
+    outcomes with ``error`` set instead of raising :class:`TaskFailed`.
+    """
+    tasks = list(tasks)
+    jobs = resolve_jobs(jobs)
+    jobs = max(1, min(jobs, len(tasks))) if tasks else 1
+    start = time.perf_counter()
+    fell_back = False
+
+    if jobs == 1:
+        outcomes = _run_serial(tasks)
+    else:
+        try:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                futures = [
+                    pool.submit(_run_one, i, t) for i, t in enumerate(tasks)
+                ]
+                by_index: List[Optional[TaskOutcome]] = [None] * len(tasks)
+                for fut in futures:
+                    outcome = fut.result()
+                    by_index[outcome.index] = outcome
+            outcomes = [o for o in by_index if o is not None]
+            if len(outcomes) != len(tasks):  # pragma: no cover - defensive
+                raise RuntimeError("pool lost task outcomes")
+        except (OSError, ImportError, PermissionError) as exc:
+            # Platforms without working multiprocessing primitives
+            # (sandboxes without /dev/shm, missing semaphores).
+            print(
+                f"[runner] process pool unavailable ({exc!r}); "
+                "falling back to serial execution",
+                file=sys.stderr,
+            )
+            fell_back = True
+            outcomes = _run_serial(tasks)
+
+    result = RunnerResult(
+        outcomes=outcomes,
+        jobs=1 if fell_back else jobs,
+        wall_time=time.perf_counter() - start,
+        fell_back_serial=fell_back,
+    )
+    if raise_on_error and result.failures:
+        raise TaskFailed(result.failures)
+    return result

@@ -1,0 +1,194 @@
+"""Picklable replay-task specs and their worker-side execution.
+
+A :class:`ReplayTask` is a pure-data description of one independent
+replay cell — (trace × protocol × num_servers × seed), a Metarates
+point, or a conflict-injection cell.  Tasks cross process boundaries
+(``ProcessPoolExecutor`` pickles them into workers), so they hold only
+strings and numbers; the worker rebuilds the cluster and workload from
+the spec, replays, and ships back a :class:`ReplaySummary` — again pure
+data, including the per-server metrics snapshots that the parent merges
+into the cluster-wide view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: Task kinds understood by :func:`execute_task`.
+KIND_TRACE = "trace"
+KIND_METARATES = "metarates"
+KIND_INJECT = "inject"
+
+
+@dataclass(frozen=True)
+class ReplayTask:
+    """One independent replay cell, fully described by picklable data.
+
+    ``kind`` selects the workload family:
+
+    * ``"trace"`` — replay one synthetic trace under one protocol at
+      the canonical configuration (fig5 / table2 / table4 cells);
+    * ``"metarates"`` — one Metarates point: ``update_fraction`` at
+      ``num_servers`` under one protocol (fig6 cells);
+    * ``"inject"`` — a Cx trace replay with probability-``p_inject``
+      conflict probes (fig8 cells).
+
+    ``params`` carries :class:`~repro.params.SimParams` field overrides
+    as a plain dict so the spec stays picklable.
+    """
+
+    kind: str
+    protocol: str = "cx"
+    trace: Optional[str] = None
+    num_servers: Optional[int] = None
+    seed: int = 0
+    scale: Optional[float] = None
+    #: "inject" only: per-operation probe probability.
+    p_inject: float = 0.0
+    #: "metarates" only.
+    update_fraction: float = 0.8
+    ops_per_process: int = 30
+    preload_per_server: int = 400
+    think_time: float = 0.0
+    #: SimParams overrides, picklable (e.g. {"commit_timeout": 0.1}).
+    params: Optional[Dict[str, object]] = None
+    #: Free-form tag echoed on the outcome (experiment row bookkeeping).
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in (KIND_TRACE, KIND_METARATES, KIND_INJECT):
+            raise ValueError(f"unknown task kind {self.kind!r}")
+        if self.kind in (KIND_TRACE, KIND_INJECT) and self.trace is None:
+            raise ValueError(f"{self.kind!r} task needs a trace name")
+
+
+@dataclass
+class ReplaySummary:
+    """Picklable measurements of one executed task.
+
+    The scalar fields mirror :class:`~repro.workloads.replay.ReplayResult`
+    (live object graphs — the metrics collector, the tracer — do not
+    cross process boundaries; per-server registries travel as snapshot
+    dicts instead).
+    """
+
+    protocol: str
+    replay_time: float
+    total_ops: int
+    throughput: float = 0.0
+    cross_server_ops: int = 0
+    conflicted_ops: int = 0
+    conflict_ratio: float = 0.0
+    messages: int = 0
+    message_bytes: int = 0
+    failed_ops: int = 0
+    mean_latency: float = 0.0
+    #: Kernel events the simulator popped to produce this cell.
+    events_processed: int = 0
+    #: node id -> MetricsRegistry snapshot, plus a merged "cluster" key.
+    server_metrics: Dict[str, dict] = field(default_factory=dict)
+
+
+def _params_from(task: ReplayTask):
+    from repro.experiments.common import experiment_params
+
+    return experiment_params(**(task.params or {}))
+
+
+def _summarize(cluster, result) -> ReplaySummary:
+    return ReplaySummary(
+        protocol=result.protocol,
+        replay_time=result.replay_time,
+        total_ops=result.total_ops,
+        throughput=result.throughput,
+        cross_server_ops=result.cross_server_ops,
+        conflicted_ops=result.conflicted_ops,
+        conflict_ratio=result.conflict_ratio,
+        messages=result.messages,
+        message_bytes=result.message_bytes,
+        failed_ops=result.failed_ops,
+        mean_latency=result.mean_latency,
+        events_processed=cluster.sim.events_processed,
+        server_metrics=cluster.metrics_snapshot(),
+    )
+
+
+def execute_task(task: ReplayTask) -> ReplaySummary:
+    """Run one task to completion in this process.
+
+    Deterministic for a fixed spec: the cluster, workload, and replay
+    are all seeded from the task itself, so the outcome is independent
+    of which worker runs it and in what order.
+    """
+    # Imported here, not at module top: workers may be freshly spawned
+    # interpreters, and the experiment layer must not import the runner
+    # at import time (it does the reverse).
+    from repro.experiments.common import (
+        NUM_SERVERS,
+        TRACE_SCALES,
+        build_trace_cluster,
+        trace_streams,
+    )
+    from repro.workloads import replay_streams, replay_streams_with_injection
+
+    num_servers = task.num_servers if task.num_servers is not None else NUM_SERVERS
+
+    if task.kind == KIND_TRACE or task.kind == KIND_INJECT:
+        cluster = build_trace_cluster(
+            task.protocol,
+            params=_params_from(task),
+            num_servers=num_servers,
+            seed=task.seed,
+        )
+        scale = task.scale if task.scale is not None else TRACE_SCALES[task.trace]
+        _wl, streams = trace_streams(cluster, task.trace, scale=scale, seed=task.seed)
+        if task.kind == KIND_TRACE:
+            return _summarize(cluster, replay_streams(cluster, streams))
+        measures = replay_streams_with_injection(
+            cluster, streams, p_inject=task.p_inject, seed=task.seed
+        )
+        m = cluster.metrics
+        return ReplaySummary(
+            protocol=cluster.protocol.name,
+            replay_time=measures["replay_time"],
+            total_ops=int(measures["total_ops"]),
+            throughput=(
+                measures["total_ops"] / measures["replay_time"]
+                if measures["replay_time"] > 0 else 0.0
+            ),
+            cross_server_ops=m.cross_server_ops,
+            conflicted_ops=m.conflicted_ops,
+            conflict_ratio=measures["conflict_ratio"],
+            messages=int(measures["messages"]),
+            message_bytes=cluster.network.stats.total_bytes,
+            failed_ops=m.total_ops - m.completed_ok,
+            mean_latency=m.mean_latency(),
+            events_processed=cluster.sim.events_processed,
+            server_metrics=cluster.metrics_snapshot(),
+        )
+
+    if task.kind == KIND_METARATES:
+        from repro.cluster.builder import Cluster
+        from repro.protocols import get_protocol
+        from repro.workloads import MetaratesWorkload
+
+        cluster = Cluster.build(
+            num_servers=num_servers,
+            num_clients=4 * num_servers,      # paper: clients = 4 x servers
+            protocol=get_protocol(task.protocol),
+            params=_params_from(task),
+            procs_per_client=8,               # paper: 8 processes per client
+            seed=task.seed,
+        )
+        wl = MetaratesWorkload(
+            update_fraction=task.update_fraction,
+            ops_per_process=task.ops_per_process,
+            preload_per_server=task.preload_per_server,
+            seed=task.seed,
+        )
+        streams = wl.build(cluster, cluster.all_processes())
+        result = replay_streams(cluster, streams, think_time=task.think_time)
+        return _summarize(cluster, result)
+
+    raise ValueError(f"unknown task kind {task.kind!r}")  # pragma: no cover

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import heapq
-from itertools import count
 from typing import Any, Generator, Iterable, Optional
 
 from repro.sim.events import (
@@ -43,7 +42,9 @@ class Simulator:
     def __init__(self) -> None:
         self._now = 0.0
         self._heap: list[tuple[float, int, int, Event]] = []
-        self._seq = count()
+        # Plain int counter: ``next(itertools.count())`` costs a call per
+        # schedule(), which is measurable at millions of events per replay.
+        self._seq = 0
         #: number of events processed so far (diagnostics / tests)
         self.events_processed = 0
 
@@ -62,7 +63,9 @@ class Simulator:
         """Enqueue a triggered event for processing ``delay`` from now."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay!r})")
-        heapq.heappush(self._heap, (self._now + delay, priority, next(self._seq), event))
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (self._now + delay, priority, seq, event))
 
     # -- event factories --------------------------------------------------
 
@@ -113,13 +116,31 @@ class Simulator:
 
         With ``until`` given, the clock is advanced to exactly ``until``
         even if the queue drains early, so periodic measurements line up.
+
+        The body of :meth:`step` is inlined here (and in
+        :meth:`run_until`): at hundreds of thousands of events per
+        replay, the per-event method call and attribute lookups are a
+        measurable share of the whole run.
         """
         if until is not None and until < self._now:
             raise ValueError(f"until={until!r} is in the past (now={self._now!r})")
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            if until is not None and heap[0][0] > until:
                 break
-            self.step()
+            when, _prio, _seq, event = pop(heap)
+            self._now = when
+            callbacks = event.callbacks
+            event.callbacks = None  # mark processed
+            self.events_processed += 1
+            for cb in callbacks:  # type: ignore[union-attr]
+                cb(event)
+            if event._ok is False and not event._defused:
+                exc = event._exc
+                raise SimulationError(
+                    f"unhandled failure of {event!r} at t={self._now:.6f}: {exc!r}"
+                ) from exc
         if until is not None:
             self._now = until
 
@@ -133,12 +154,25 @@ class Simulator:
             event.callbacks.append(
                 lambda e: e.defuse() if e._ok is False else None
             )
-        while not event.processed:
-            if not self._heap:
+        heap = self._heap
+        pop = heapq.heappop
+        while event.callbacks is not None:  # not yet processed
+            if not heap:
                 raise SimulationError(
                     f"queue drained before {event!r} was processed"
                 )
-            self.step()
+            when, _prio, _seq, popped = pop(heap)
+            self._now = when
+            callbacks = popped.callbacks
+            popped.callbacks = None  # mark processed
+            self.events_processed += 1
+            for cb in callbacks:  # type: ignore[union-attr]
+                cb(popped)
+            if popped._ok is False and not popped._defused:
+                exc = popped._exc
+                raise SimulationError(
+                    f"unhandled failure of {popped!r} at t={self._now:.6f}: {exc!r}"
+                ) from exc
         if event._ok is False:
             event.defuse()
             raise event._exc  # type: ignore[misc]

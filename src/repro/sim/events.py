@@ -105,7 +105,9 @@ class Event:
 
         ``delay`` defers processing by that much virtual time.
         """
-        if self.triggered:
+        # `self.triggered` inlined: succeed() runs once per event on the
+        # kernel's hottest path, so skip the property-call overhead.
+        if self._value is not _PENDING or self._exc is not None:
             raise EventAlreadyTriggered(f"{self!r} already triggered")
         self._ok = True
         self._value = value
@@ -114,7 +116,7 @@ class Event:
 
     def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
         """Trigger the event with an exception."""
-        if self.triggered:
+        if self._value is not _PENDING or self._exc is not None:
             raise EventAlreadyTriggered(f"{self!r} already triggered")
         if not isinstance(exc, BaseException):
             raise TypeError(f"fail() needs an exception, got {exc!r}")
@@ -125,7 +127,16 @@ class Event:
         return self
 
     def trigger(self, other: "Event") -> None:
-        """Mirror another triggered event's outcome onto this one."""
+        """Mirror another triggered event's outcome onto this one.
+
+        ``other`` must already be triggered; mirroring a pending event
+        would silently copy the internal ``_PENDING`` sentinel (or a
+        ``None`` exception) into this event and corrupt its state.
+        """
+        if other._value is _PENDING and other._exc is None:
+            raise ValueError(
+                f"trigger() needs a triggered source event, got {other!r}"
+            )
         if other._ok:
             self.succeed(other._value)
         else:

@@ -1,18 +1,24 @@
 """Workloads: the paper's six traces, Metarates, replay, injection."""
 
 from repro.workloads.spec import TRACE_SPECS, TraceSpec
-from repro.workloads.traces import TraceWorkload
+from repro.workloads.traces import StreamPlan, TraceWorkload
 from repro.workloads.metarates import MetaratesWorkload
 from repro.workloads.replay import ReplayResult, replay_streams
-from repro.workloads.inject import ConflictInjector, build_probe_op
+from repro.workloads.inject import (
+    ConflictInjector,
+    build_probe_op,
+    replay_streams_with_injection,
+)
 
 __all__ = [
     "ConflictInjector",
     "build_probe_op",
     "MetaratesWorkload",
     "ReplayResult",
+    "StreamPlan",
     "TRACE_SPECS",
     "TraceSpec",
     "TraceWorkload",
     "replay_streams",
+    "replay_streams_with_injection",
 ]

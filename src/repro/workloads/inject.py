@@ -14,7 +14,7 @@ lookups.  The achieved conflict ratio is then measured, not assumed.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.fs.ops import FileOperation, OpType
 from repro.sim import Interrupt
@@ -47,6 +47,51 @@ def build_probe_op(cluster: "Cluster", proc: "ClientProcess", rng) -> Optional[F
                 return FileOperation(OpType.STAT, proc.new_op_id(),
                                      target=key[1])
     return None
+
+
+def replay_streams_with_injection(
+    cluster: "Cluster",
+    streams: Dict["ClientProcess", List[FileOperation]],
+    p_inject: float,
+    seed: int = 0,
+    rng_stream: str = "fig8",
+) -> Dict[str, float]:
+    """Replay ``streams`` with probability-``p_inject`` probing reads.
+
+    Before an operation, a process may first look up an object that
+    some pending (executed-but-uncommitted) operation touched — a
+    guaranteed conflict that forces an immediate commitment onto the
+    replay's critical path (Figure 8's injected lookups).  Returns the
+    measurements the conflict-ratio study needs.
+    """
+    sim = cluster.sim
+    cluster.network.stats.reset()
+    rng = cluster.rngs.stream(f"{rng_stream}:{seed}")
+
+    def runner(proc, ops):
+        for op in ops:
+            if p_inject > 0 and rng.random() < p_inject:
+                probe = build_probe_op(cluster, proc, rng)
+                if probe is not None:
+                    yield from proc.perform(probe)
+            yield from proc.perform(op)
+
+    runners = [sim.process(runner(proc, ops)) for proc, ops in streams.items()]
+    done = sim.all_of(runners)
+    start = sim.now
+    while not done.processed:
+        if sim.peek() == float("inf"):
+            raise RuntimeError("injection replay deadlocked")
+        sim.step()
+    replay_time = sim.now - start
+    cluster.quiesce_protocol()
+    m = cluster.metrics
+    return {
+        "replay_time": replay_time,
+        "total_ops": m.total_ops,
+        "conflict_ratio": m.conflict_ratio,
+        "messages": cluster.network.stats.total,
+    }
 
 
 class ConflictInjector:

@@ -76,13 +76,27 @@ def replay_streams(
     done = sim.all_of(runners)
 
     start = sim.now
-    limit = max_virtual_time if max_virtual_time is not None else float("inf")
-    while not done.processed:
-        if sim.peek() == float("inf"):
-            raise RuntimeError("replay deadlocked: event queue drained")
-        if sim.now - start > limit:
-            raise RuntimeError(f"replay exceeded {limit}s of virtual time")
-        sim.step()
+    if max_virtual_time is None:
+        # Fast path: drive the kernel's inlined run loop instead of
+        # paying a step() call (plus two checks) per event.
+        from repro.sim.core import SimulationError
+
+        try:
+            sim.run_until(done)
+        except SimulationError as exc:
+            if "queue drained" in str(exc):
+                raise RuntimeError(
+                    "replay deadlocked: event queue drained"
+                ) from exc
+            raise
+    else:
+        limit = max_virtual_time
+        while not done.processed:
+            if sim.peek() == float("inf"):
+                raise RuntimeError("replay deadlocked: event queue drained")
+            if sim.now - start > limit:
+                raise RuntimeError(f"replay exceeded {limit}s of virtual time")
+            sim.step()
     replay_time = sim.now - start
 
     # Let lazy commitments and flushes drain before counting messages:

@@ -111,6 +111,19 @@ class TestEvent:
         assert dst.ok is False
         sim.run()
 
+    def test_trigger_untriggered_source_raises(self, sim):
+        # Regression: trigger() used to copy the _PENDING sentinel out
+        # of an untriggered source, leaving dst looking triggered but
+        # holding no value.
+        src, dst = sim.event(), sim.event()
+        with pytest.raises(ValueError):
+            dst.trigger(src)
+        assert not dst.triggered
+        src.succeed(7)
+        dst.trigger(src)  # fine once the source has fired
+        assert dst.value == 7
+        sim.run()
+
 
 class TestTimeout:
     def test_fires_at_right_time(self, sim):
@@ -214,3 +227,16 @@ class TestAnyOf:
         bad.fail(ValueError("first"))
         sim.run()
         assert race.ok is False
+
+    def test_every_loser_failure_is_defused(self, sim):
+        # Several losers failing after the race settled: all of them
+        # must be defused, in any order.
+        t = sim.timeout(1.0, "winner")
+        losers = [sim.event() for _ in range(3)]
+        race = sim.any_of([t, *losers])
+        sim.run()
+        assert race.value == (t, "winner")
+        for i, ev in enumerate(losers):
+            ev.fail(RuntimeError(f"late-{i}"))
+        sim.run()  # must not raise
+        assert all(ev.ok is False for ev in losers)

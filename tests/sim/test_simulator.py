@@ -33,6 +33,29 @@ class TestClock:
         sim.timeout(2.0)
         assert sim.peek() == 2.0
 
+    def test_run_until_queue_drains_early_clock_lands_on_until(self, sim):
+        # Queue empties at t=1 but the clock must still end at `until`
+        # so periodic measurements line up across runs.
+        t = sim.timeout(1.0)
+        sim.run(until=5.0)
+        assert t.processed
+        assert sim.now == 5.0
+        assert sim.events_processed == 1
+
+    def test_run_until_leaves_later_events_queued(self, sim):
+        early, late = sim.timeout(1.0), sim.timeout(9.0)
+        sim.run(until=5.0)
+        assert early.processed and not late.processed
+        assert sim.now == 5.0
+        sim.run()
+        assert late.processed
+        assert sim.now == 9.0
+
+    def test_run_without_until_stops_at_last_event(self, sim):
+        sim.timeout(2.5)
+        sim.run()
+        assert sim.now == 2.5
+
 
 class TestOrdering:
     def test_fifo_within_same_instant(self, sim):
