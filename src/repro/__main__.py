@@ -20,6 +20,21 @@ https://ui.perfetto.dev), optionally a JSONL event dump, and validates
 the protocol invariants from the event stream (exit code 1 if any
 violation is found).
 
+Performance::
+
+    python -m repro profile fig5               # cProfile the canonical cell
+    python -m repro profile fig5 --trace CTH   # explicit workload trace
+    python -m repro profile fig8 --top 40 --json prof.json
+    python -m repro perf-gate                  # quick bench vs committed
+                                               # BENCH_kernel.json (CI gate)
+
+``profile`` runs one experiment's replay cell under cProfile and
+prints the top hotspots by cumulative time.  ``perf-gate`` reruns the
+quick kernel bench and fails (exit 1) if any events/sec number drops
+below 0.7x the committed baseline, warning below 0.9x.  Note: for the
+``profile`` command ``--trace`` names the *workload trace* to replay
+(CTH, home2, ...), not a Chrome-trace output file.
+
 Each experiment prints the regenerated artifact; see EXPERIMENTS.md for
 the paper-vs-measured discussion.
 """
@@ -95,11 +110,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (table1..table5, fig4..fig9), 'trace <exp>', "
-             "'bench', 'all', or 'list'",
+             "'profile <exp>', 'bench', 'perf-gate', 'all', or 'list'",
     )
     parser.add_argument(
         "target", nargs="?", default=None,
-        help="experiment to trace (only with the 'trace' command)",
+        help="experiment to trace or profile (only with the 'trace' "
+             "and 'profile' commands)",
     )
     parser.add_argument("--seed", type=int, default=0,
                         help="master RNG seed (default 0)")
@@ -129,6 +145,17 @@ def main(argv=None) -> int:
                              "(CI smoke configuration)")
     parser.add_argument("--out-dir", metavar="DIR", default=".",
                         help="bench: directory for BENCH_*.json (default .)")
+    parser.add_argument("--protocol", default=None,
+                        help="profile: protocol override for the "
+                             "profiled replay cell")
+    parser.add_argument("--top", type=int, default=25,
+                        help="profile: hotspot rows to show (default 25)")
+    parser.add_argument("--json", metavar="FILE", default=None,
+                        help="profile: also write the hotspot report "
+                             "as JSON to FILE")
+    parser.add_argument("--baseline", metavar="FILE", default=None,
+                        help="perf-gate: committed baseline to compare "
+                             "against (default BENCH_kernel.json)")
     args = parser.parse_args(argv)
 
     if args.experiment == "bench":
@@ -137,6 +164,30 @@ def main(argv=None) -> int:
         run_bench(jobs=args.jobs, quick=args.quick, seed=args.seed,
                   out_dir=args.out_dir)
         return 0
+
+    if args.experiment == "profile":
+        from repro.runner.profile import profile_experiment
+
+        if args.target is None:
+            parser.error("profile needs an experiment id, e.g. 'profile fig5'")
+        # For this command --trace names the workload trace to replay
+        # (there is no Chrome-trace output on the profile path).
+        report = profile_experiment(
+            args.target,
+            workload=args.trace or args.workload,
+            protocol=args.protocol,
+            seed=args.seed,
+            scale=args.scale,
+            top=args.top,
+            json_file=args.json,
+        )
+        print(report.text)
+        return 0
+
+    if args.experiment == "perf-gate":
+        from repro.runner.perfgate import run_perf_gate
+
+        return run_perf_gate(baseline_path=args.baseline, seed=args.seed)
 
     if args.experiment == "trace" or args.trace or args.metrics:
         return _run_traced(args, parser)

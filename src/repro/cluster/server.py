@@ -2,23 +2,29 @@
 
 A :class:`MetadataServer` owns one disk, one KV store (the BDB stand-in),
 one operation log, and one namespace shard.  Its main loop pulls
-messages off the inbox and spawns a handler process per message, so a
-handler blocked on disk or on a conflict never stalls the inbox.  The
-protocol in use is plugged in as a *role* object (see
+messages off the inbox and dispatches an independent handler per
+message, so a handler blocked on disk or on a conflict never stalls the
+inbox.  The protocol in use is plugged in as a *role* object (see
 :mod:`repro.protocols.base`).
+
+Handlers run on pooled :class:`_HandlerSlot` drivers rather than fresh
+:class:`~repro.sim.Process` objects — the per-message process, wrapper
+generator, and bookkeeping closure were the hottest allocation site of
+a replay (see DESIGN.md "Performance").
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Deque, Optional, Set
+from typing import TYPE_CHECKING, Any, Deque, Optional, Set
 
 from repro.fs.namespace import NamespaceShard
 from repro.net.message import Message, MessageKind
 from repro.net.network import Network, Node
 from repro.obs.registry import MetricsRegistry
 from repro.params import SimParams
-from repro.sim import Interrupt, Process, Simulator
+from repro.sim import Event, Interrupt, Process, Simulator
+from repro.sim.events import _PENDING, PRIORITY_URGENT
 from repro.sim.resources import ResourceClosed
 from repro.storage.disk import Disk
 from repro.storage.kvstore import KVStore
@@ -36,6 +42,193 @@ KV_REGION_BASE = 256 * 1024 * 1024
 
 def server_node_id(index: int) -> str:
     return f"mds{index}"
+
+
+#: Exceptions that tear a handler down quietly: the server (or a peer)
+#: crashed out from under it.
+_HANDLER_EXITS = (Interrupt, ResourceClosed, ConnectionError)
+
+
+class _HandlerSlot(Event):
+    """A pooled, reusable driver for one message handler.
+
+    Replaces the per-message ``Process`` + wrapper-generator pair on the
+    server's hottest path.  Like a ``Process``, the slot *is* the
+    handler's completion event (it triggers when the handler finishes);
+    unlike one, it drives the role's generator directly — no wrapper
+    frame — and goes back to the server's pool once its completion
+    event has been processed.  Handlers the role can serve inline
+    (:meth:`~repro.protocols.base.ServerRole.handle_fast`) never create
+    a generator at all.
+
+    Event-for-event equivalent to the ``Process`` path: arming schedules
+    the same urgent bootstrap event, completion schedules the same
+    normal-priority event, and the driver advances the generator exactly
+    as ``Process._resume`` does, so replay histories are bit-identical
+    (the golden-replay tests pin this).
+    """
+
+    __slots__ = (
+        "server",
+        "msg",
+        "_gen",
+        "_target",
+        "_init",
+        "_init_cbs",
+        "_own_cbs",
+        "_resume_cb",
+        "_cancelled",
+    )
+
+    def __init__(self, server: "MetadataServer") -> None:
+        super().__init__(server.sim)
+        self.server = server
+        self.msg: Optional[Message] = None
+        self._gen = None
+        self._target: Optional[Event] = None
+        self._cancelled = False
+        self._init = Event(server.sim)
+        # Persistent callback lists, reassigned on every arm(): the
+        # kernel clears `callbacks` to None when it processes an event,
+        # but the list objects survive on the slot.
+        self._init_cbs = [self._start]
+        self._own_cbs = [self._on_processed]
+        # Bound once: a fresh bound method per yield is measurable.
+        self._resume_cb = self._resume
+
+    def arm(self, msg: Message) -> None:
+        """Reset to pristine and schedule the handler's bootstrap."""
+        self.msg = msg
+        self._gen = None
+        self._target = None
+        self._cancelled = False
+        self.callbacks = self._own_cbs
+        self._value = _PENDING
+        self._exc = None
+        self._ok = None
+        self._defused = False
+        init = self._init
+        init.callbacks = self._init_cbs
+        init._ok = True
+        init._value = None
+        self.sim.schedule(init, priority=PRIORITY_URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the handler has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the handler (crash teardown)."""
+        if self.triggered:
+            return
+        self._cancelled = True  # a not-yet-run bootstrap must no-op
+        ev = Event(self.sim)
+        ev._ok = False
+        ev._exc = Interrupt(cause)
+        ev._defused = True  # the throw below is the handling
+        ev.callbacks.append(self._on_interrupt)  # type: ignore[union-attr]
+        self.sim.schedule(ev, priority=PRIORITY_URGENT)
+
+    # -- internals ---------------------------------------------------------
+
+    def _start(self, init: Event) -> None:
+        """Bootstrap callback: run the handler at the dispatch instant."""
+        if self._cancelled:
+            return
+        server = self.server
+        server.requests_served += 1
+        role = server.role
+        msg = self.msg
+        if server._is_rename(msg):
+            self._gen = role.handle_rename(msg)  # type: ignore[union-attr]
+        else:
+            try:
+                if role.handle_fast(msg):  # type: ignore[union-attr]
+                    self.succeed(None)
+                    return
+            except _HANDLER_EXITS:
+                self.succeed(None)
+                return
+            except BaseException as exc:
+                self.fail(exc)
+                return
+            self._gen = role.handle(msg)  # type: ignore[union-attr]
+        # The bootstrap event carries (_ok=True, _value=None), exactly
+        # what the first generator resume needs.
+        self._resume(init)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the handler generator with the outcome of ``event``."""
+        self._target = None
+        gen = self._gen
+        while True:
+            try:
+                if event._ok:
+                    target = gen.send(event._value)
+                else:
+                    event._defused = True
+                    target = gen.throw(event._exc)  # type: ignore[arg-type]
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except _HANDLER_EXITS:
+                self.succeed(None)  # torn down by a crash (ours or a peer's)
+                return
+            except BaseException as exc:
+                self.fail(exc)
+                return
+
+            if not isinstance(target, Event):
+                error = TypeError(
+                    f"handler for {self.msg!r} yielded non-event {target!r}"
+                )
+                try:
+                    gen.throw(error)
+                except StopIteration:
+                    self.succeed(None)
+                except _HANDLER_EXITS:
+                    self.succeed(None)
+                except BaseException as exc:
+                    self.fail(exc)
+                return
+
+            if target.processed:
+                # Already-processed event: resume immediately (same instant).
+                event = target
+                continue
+            target.callbacks.append(self._resume_cb)  # type: ignore[union-attr]
+            self._target = target
+            return
+
+    def _on_interrupt(self, event: Event) -> None:
+        if self.triggered:
+            return  # finished between scheduling and delivery
+        if self._gen is None:
+            # Interrupted before the bootstrap ran: nothing to tear down.
+            self.succeed(None)
+            return
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume_cb)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        self._target = None
+        self._resume(event)
+
+    def _on_processed(self, _ev: Event) -> None:
+        """Completion-event callback: untrack, then recycle."""
+        server = self.server
+        server._handlers.discard(self)
+        if self._ok:
+            # Reset and return to the pool.  Failed slots are abandoned
+            # instead, so the kernel's unhandled-failure check still
+            # sees their state (matching a failed handler Process).
+            self.msg = None
+            self._gen = None
+            self._value = _PENDING
+            self._ok = None
+            server._slot_pool.append(self)
 
 
 class MetadataServer(Node):
@@ -77,13 +270,19 @@ class MetadataServer(Node):
         #: file system stops responding new requests").
         self.quiesced = False
         self._quiesce_buffer: Deque[Message] = deque()
-        self._handlers: Set[Process] = set()
+        self._handlers: Set[_HandlerSlot] = set()
+        self._slot_pool: list[_HandlerSlot] = []
         self._loop: Optional[Process] = None
         self.requests_served = 0
 
     # -- wiring ------------------------------------------------------------
 
     def attach_role(self, role: "ServerRole") -> None:
+        # Bound here, not at module import: protocols.base imports the
+        # cluster package, so the reference must resolve lazily.
+        from repro.protocols.base import is_rename_message
+
+        self._is_rename = is_rename_message
         self.role = role
         self.start()
 
@@ -112,25 +311,14 @@ class MetadataServer(Node):
             yield self.sim.timeout(self.params.cpu_dispatch)
             self.spawn_handler(msg)
 
-    def spawn_handler(self, msg: Message) -> Process:
-        """Run the role's handler for ``msg`` as an independent process."""
+    def spawn_handler(self, msg: Message) -> _HandlerSlot:
+        """Run the role's handler for ``msg`` as an independent activity."""
         assert self.role is not None, "server has no protocol role attached"
-        proc = self.sim.process(self._guarded_handle(msg))
-        self._handlers.add(proc)
-        proc.callbacks.append(lambda _ev: self._handlers.discard(proc))  # type: ignore[union-attr]
-        return proc
-
-    def _guarded_handle(self, msg: Message):
-        from repro.protocols.base import is_rename_message
-
-        self.requests_served += 1
-        try:
-            if is_rename_message(msg):
-                yield from self.role.handle_rename(msg)  # type: ignore[union-attr]
-            else:
-                yield from self.role.handle(msg)  # type: ignore[union-attr]
-        except (Interrupt, ResourceClosed, ConnectionError):
-            return  # torn down by a crash (ours or a peer's)
+        pool = self._slot_pool
+        slot = pool.pop() if pool else _HandlerSlot(self)
+        slot.arm(msg)
+        self._handlers.add(slot)
+        return slot
 
     # -- quiesce (recovery state) ----------------------------------------------
 

@@ -23,7 +23,14 @@ from repro.core.records import PendingOp, PendingState, RecordType
 from repro.fs.objects import inode_key
 from repro.net.message import MessageKind
 from repro.obs.tracer import PHASE_COMMIT, PHASE_WRITEBACK
-from repro.storage.wal import LogRecord, OpId
+from repro.storage.wal import OpId
+
+#: Record-type strings, resolved once — enum attribute + ``.value``
+#: chains are measurable at one Commit/Abort plus one Complete record
+#: per coordinated operation.
+_COMMIT = RecordType.COMMIT.value
+_ABORT = RecordType.ABORT.value
+_COMPLETE = RecordType.COMPLETE.value
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.role import CxRole
@@ -34,6 +41,21 @@ class CommitManager:
 
     def __init__(self, role: "CxRole") -> None:
         self.role = role
+        #: Hoisted observability handles: one attribute load on the hot
+        #: path instead of a chain of lookups per op (the tracer is
+        #: fixed at cluster build time, so caching it is safe).
+        self.tracer = role.server.tracer
+        self.metrics = role.server.metrics
+        # Meter handles resolve lazily on first use — eager creation
+        # would add zero-valued entries to metrics snapshots and change
+        # replay results.
+        self._m_batches = None
+        self._m_batch_size = None
+        self._m_immediate = None
+        self._m_lazy = None
+        self._m_decisions = None
+        self._m_latency = None
+        self._m_queue_depth = None
         #: coord/single-role pendings awaiting lazy commitment.
         self.lazy: Dict[OpId, PendingOp] = {}
         #: Immediate-commitment requests that arrived before the op
@@ -60,13 +82,19 @@ class CommitManager:
             pend.all_no_dst = pend.all_no_dst or dst
             pend.immediate_requested = True
 
+    def _queue_depth_gauge(self):
+        g = self._m_queue_depth
+        if g is None:
+            g = self._m_queue_depth = self.metrics.gauge("commit.queue_depth")
+        return g
+
     def enqueue(self, pend: PendingOp) -> None:
         """A coord/single-role op finished executing; queue it."""
         if pend.state is not PendingState.EXECUTED:
             return  # an immediate commitment already picked it up
         pend.enqueued_at = self.role.sim.now
         self.lazy[pend.op_id] = pend
-        self.role.server.metrics.gauge("commit.queue_depth").set(len(self.lazy))
+        self._queue_depth_gauge().set(len(self.lazy))
         if pend.immediate_requested:
             self.launch_ops([pend], "immediate")
         else:
@@ -118,7 +146,7 @@ class CommitManager:
 
     def launch_ops(self, ops: List[PendingOp], reason: str) -> None:
         server = self.role.server
-        tracer = server.tracer
+        tracer = self.tracer
         for p in ops:
             p.state = PendingState.COMMITTING
             if tracer.enabled:
@@ -127,15 +155,24 @@ class CommitManager:
                     phase=PHASE_COMMIT, role=p.role, reason=reason,
                 )
         self.batches_launched += 1
-        metrics = server.metrics
-        metrics.counter("commit.batches").inc()
-        metrics.histogram("commit.batch_size").observe(len(ops))
+        m = self._m_batches
+        if m is None:
+            m = self._m_batches = self.metrics.counter("commit.batches")
+            self._m_batch_size = self.metrics.histogram("commit.batch_size")
+        m.inc()
+        self._m_batch_size.observe(len(ops))
         if reason == "immediate":
             self.immediate_commits += len(ops)
-            metrics.counter("commit.immediate_ops").inc(len(ops))
+            m = self._m_immediate
+            if m is None:
+                m = self._m_immediate = self.metrics.counter("commit.immediate_ops")
+            m.inc(len(ops))
         else:
             self.lazy_commits += len(ops)
-            metrics.counter("commit.lazy_ops").inc(len(ops))
+            m = self._m_lazy
+            if m is None:
+                m = self._m_lazy = self.metrics.counter("commit.lazy_ops")
+            m.inc(len(ops))
         self.role.sim.process(self._commit_batch(ops))
 
     # -- the batch process ------------------------------------------------------------
@@ -162,7 +199,7 @@ class CommitManager:
         flush = self.role.server.kv.flush_keys(keys)
         if flush is not None:
             yield flush
-        tracer = self.role.server.tracer
+        tracer = self.tracer
         if tracer.enabled:
             # Only decided ops were truly synchronized — a participant
             # crash mid-commitment leaves its ops pending for retry.
@@ -207,8 +244,11 @@ class CommitManager:
         votes = votes_resp.payload["votes"]
 
         # Step 5: decide; write Commit/Abort records (one group flush).
+        # Pooled records and a pre-built append list: the whole batch
+        # coalesces into one all_of over one group-committed flush.
+        wal = server.wal
         decisions: Dict[OpId, bool] = {}
-        records = []
+        appends = []
         for p in ops:
             vote = votes[p.op_id]
             commit = p.ok and vote["ok"]
@@ -217,14 +257,13 @@ class CommitManager:
             if not commit and p.ok:
                 # Our half succeeded but the op aborts: roll back.
                 server.shard.apply_deferred(p.result.undo)
-            records.append(
-                LogRecord(
-                    p.op_id,
-                    (RecordType.COMMIT if commit else RecordType.ABORT).value,
-                    size=role.params.log_record_size,
+            appends.append(
+                wal.append(
+                    wal.commit_record(p.op_id, _COMMIT if commit else _ABORT),
+                    urgent=True,
                 )
             )
-        yield role.sim.all_of([server.wal.append(r, urgent=True) for r in records])
+        yield role.sim.all_of(appends)
 
         # Step 5–6: COMMIT-REQ/ABORT-REQ (batched), await the ACK.
         ack = yield server.request(
@@ -236,11 +275,12 @@ class CommitManager:
         assert ack.kind is MessageKind.ACK
 
         # Step 7: Complete-Records, then finalize.
-        completes = [
-            LogRecord(p.op_id, RecordType.COMPLETE.value, size=role.params.log_record_size)
-            for p in ops
-        ]
-        yield role.sim.all_of([server.wal.append(r, urgent=True) for r in completes])
+        yield role.sim.all_of(
+            [
+                wal.append(wal.commit_record(p.op_id, _COMPLETE), urgent=True)
+                for p in ops
+            ]
+        )
         for p in ops:
             self._finalize(p, decisions[p.op_id])
 
@@ -248,24 +288,31 @@ class CommitManager:
         """Local commitment of single-server operations: Complete-Record
         and pruning only — no peer, no votes."""
         role = self.role
-        completes = [
-            LogRecord(p.op_id, RecordType.COMPLETE.value, size=role.params.log_record_size)
-            for p in ops
-        ]
-        yield role.sim.all_of([role.server.wal.append(r, urgent=True) for r in completes])
+        wal = role.server.wal
+        yield role.sim.all_of(
+            [
+                wal.append(wal.commit_record(p.op_id, _COMPLETE), urgent=True)
+                for p in ops
+            ]
+        )
         for p in ops:
             self._finalize(p, p.ok)
 
     def _finalize(self, pend: PendingOp, committed: bool) -> None:
         role = self.role
         server = role.server
-        server.metrics.counter("commit.decisions").inc()
+        m = self._m_decisions
+        if m is None:
+            m = self._m_decisions = self.metrics.counter("commit.decisions")
+        m.inc()
         if pend.enqueued_at is not None:
-            server.metrics.histogram("commit.latency").observe(
-                role.sim.now - pend.enqueued_at
-            )
-        if server.tracer.enabled:
-            server.tracer.event(
+            m = self._m_latency
+            if m is None:
+                m = self._m_latency = self.metrics.histogram("commit.latency")
+            m.observe(role.sim.now - pend.enqueued_at)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.event(
                 "decision", server.node_id, cat="protocol",
                 op_id=pend.op_id, committed=committed, role=pend.role,
             )
@@ -274,7 +321,7 @@ class CommitManager:
             pend.commit_span = None
         role.server.wal.prune_op(pend.op_id)
         self.lazy.pop(pend.op_id, None)
-        server.metrics.gauge("commit.queue_depth").set(len(self.lazy))
+        self._queue_depth_gauge().set(len(self.lazy))
         role.pending.pop(pend.op_id, None)
         pend.state = PendingState.DONE
         errno = pend.result.errno if not pend.ok else getattr(pend, "vote_errno", None)

@@ -29,7 +29,10 @@ from repro.core.records import PendingOp, PendingState, RecordType
 from repro.net.message import Message, MessageKind
 from repro.obs.tracer import PHASE_COMMIT, PHASE_WRITEBACK
 from repro.sim import Event
-from repro.storage.wal import LogRecord, OpId
+from repro.storage.wal import OpId
+
+_COMMIT = RecordType.COMMIT.value
+_ABORT = RecordType.ABORT.value
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.role import CxRole
@@ -40,6 +43,15 @@ class ParticipantHalf:
 
     def __init__(self, role: "CxRole") -> None:
         self.role = role
+        #: Hoisted tracer handle (fixed at cluster build time).
+        self.tracer = role.server.tracer
+        self.metrics = role.server.metrics
+        # Lazily resolved meter handles (eager creation would change
+        # metrics snapshots — see CommitManager).
+        self._m_votes_answered = None
+        self._m_votes_deferred = None
+        self._m_invalidations = None
+        self._m_decisions = None
         #: Votes waiting for an op to execute here: op_id -> events.
         self._vote_waiters: Dict[OpId, List[Event]] = {}
         self.invalidations = 0
@@ -60,6 +72,45 @@ class ParticipantHalf:
 
     # -- VOTE -----------------------------------------------------------------
 
+    def vote_fast(self, msg: Message) -> bool:
+        """Answer a VOTE inline when every voted op already executed here.
+
+        The common case: by the time a lazy commitment's VOTE arrives,
+        the participant finished its half long ago.  Must stay
+        side-effect-identical to the all-pending walk of
+        :meth:`handle_vote`; returns ``False`` (touching nothing) when
+        any op needs the deferred/disordered machinery.
+        """
+        role = self.role
+        pending = role.pending
+        ops = msg.payload["ops"]
+        for op_id in ops:
+            if op_id not in pending:
+                return False
+        server = role.server
+        tracer = self.tracer
+        traced = tracer.enabled
+        votes: Dict[OpId, dict] = {}
+        for op_id in ops:
+            pend = pending[op_id]
+            votes[op_id] = {"ok": pend.ok, "errno": pend.result.errno}
+            pend.state = PendingState.COMMITTING
+            if traced and pend.commit_span is None:
+                pend.commit_span = tracer.begin(
+                    "commitment", server.node_id, op_id=op_id,
+                    phase=PHASE_COMMIT, role="part",
+                )
+        m = self._m_votes_answered
+        if m is None:
+            m = self._m_votes_answered = self.metrics.counter("votes.answered")
+        m.inc(len(votes))
+        size = (
+            role.params.msg_base_size
+            + role.params.msg_per_op_size * len(votes)
+        )
+        server.send_reply(msg, MessageKind.YES, {"votes": votes}, size=size)
+        return True
+
     def handle_vote(self, msg: Message) -> Generator:
         role = self.role
         server = role.server
@@ -79,7 +130,10 @@ class ParticipantHalf:
                     "commitment", server.node_id, op_id=op_id,
                     phase=PHASE_COMMIT, role="part",
                 )
-        server.metrics.counter("votes.answered").inc(len(votes))
+        m = self._m_votes_answered
+        if m is None:
+            m = self._m_votes_answered = self.metrics.counter("votes.answered")
+        m.inc(len(votes))
         size = (
             role.params.msg_base_size
             + role.params.msg_per_op_size * len(votes)
@@ -113,9 +167,12 @@ class ParticipantHalf:
             ev = Event(role.sim)
             self._vote_waiters.setdefault(op_id, []).append(ev)
             self.deferred_votes += 1
-            role.server.metrics.counter("votes.deferred").inc()
-            if role.server.tracer.enabled:
-                role.server.tracer.event(
+            m = self._m_votes_deferred
+            if m is None:
+                m = self._m_votes_deferred = self.metrics.counter("votes.deferred")
+            m.inc()
+            if self.tracer.enabled:
+                self.tracer.event(
                     "vote.deferred", role.server.node_id, cat="protocol",
                     op_id=op_id,
                 )
@@ -141,9 +198,12 @@ class ParticipantHalf:
         """
         role = self.role
         self.invalidations += 1
-        role.server.metrics.counter("disorder.invalidations").inc()
-        if role.server.tracer.enabled:
-            role.server.tracer.event(
+        m = self._m_invalidations
+        if m is None:
+            m = self._m_invalidations = self.metrics.counter("disorder.invalidations")
+        m.inc()
+        if self.tracer.enabled:
+            self.tracer.event(
                 "invalidate", role.server.node_id, cat="protocol",
                 op_id=holder.op_id,
             )
@@ -166,8 +226,15 @@ class ParticipantHalf:
     def handle_decide(self, msg: Message) -> Generator:
         role = self.role
         server = role.server
+        wal = server.wal
+        tracer = self.tracer
+        m_decisions = self._m_decisions
+        if m_decisions is None:
+            m_decisions = self._m_decisions = self.metrics.counter(
+                "commit.decisions"
+            )
         decisions: Dict[OpId, bool] = msg.payload["decisions"]
-        records = []
+        appends = []
         to_release: List[Tuple[PendingOp, bool]] = []
         for op_id, commit in decisions.items():
             pend = role.pending.pop(op_id, None)
@@ -175,17 +242,16 @@ class ParticipantHalf:
                 continue
             if not commit and pend.ok:
                 role.server.shard.apply_deferred(pend.result.undo)
-            records.append(
-                LogRecord(
-                    op_id,
-                    (RecordType.COMMIT if commit else RecordType.ABORT).value,
-                    size=role.params.log_record_size,
+            appends.append(
+                wal.append(
+                    wal.commit_record(op_id, _COMMIT if commit else _ABORT),
+                    urgent=True,
                 )
             )
             pend.state = PendingState.DONE
-            server.metrics.counter("commit.decisions").inc()
-            if server.tracer.enabled:
-                server.tracer.event(
+            m_decisions.inc()
+            if tracer.enabled:
+                tracer.event(
                     "decision", server.node_id, cat="protocol",
                     op_id=op_id, committed=commit, role="part",
                 )
@@ -198,8 +264,8 @@ class ParticipantHalf:
             }
             to_release.append((pend, commit))
 
-        if records:
-            yield role.sim.all_of([role.server.wal.append(r, urgent=True) for r in records])
+        if appends:
+            yield role.sim.all_of(appends)
         # Terminal for the participant: prune, then write back the
         # decided operations' objects.
         for op_id in decisions:
@@ -208,9 +274,9 @@ class ParticipantHalf:
         flush = role.server.kv.flush_keys(keys)
         if flush is not None:
             yield flush
-        if server.tracer.enabled:
+        if tracer.enabled:
             for pend, _commit in to_release:
-                server.tracer.event(
+                tracer.event(
                     "writeback", server.node_id, cat="kv",
                     op_id=pend.op_id, phase=PHASE_WRITEBACK,
                 )

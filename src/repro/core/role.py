@@ -43,6 +43,13 @@ class CxRole(ServerRole):
 
     def __init__(self, server: "MetadataServer", cluster: "Cluster") -> None:
         super().__init__(server, cluster)
+        #: Hoisted observability handles (the tracer is fixed at cluster
+        #: build time); meters resolve lazily so snapshots are unchanged.
+        self.tracer = server.tracer
+        self.metrics = server.metrics
+        self._m_conflicts = None
+        self._m_disagreements = None
+        self._trigger_meters: Dict[str, object] = {}
         #: Executed-but-uncommitted operations known to this server.
         self.pending: Dict[OpId, PendingOp] = {}
         #: Resolved operations: op_id -> {"committed": bool, "errno": ...}.
@@ -63,12 +70,15 @@ class CxRole(ServerRole):
         server.wal.on_full = self._on_log_full
 
     def _on_trigger_fire(self, kind: str) -> None:
-        self.server.metrics.counter(f"trigger.{kind}").inc()
+        m = self._trigger_meters.get(kind)
+        if m is None:
+            m = self._trigger_meters[kind] = self.metrics.counter(f"trigger.{kind}")
+        m.inc()
         # Idle timeout fires (empty lazy queue) are counted but not
         # traced — they would dominate the event stream.
         pending = len(self.commit_mgr.lazy)
-        if pending and self.server.tracer.enabled:
-            self.server.tracer.event(
+        if pending and self.tracer.enabled:
+            self.tracer.event(
                 "trigger", self.server.node_id, cat="trigger", kind=kind,
                 pending=pending,
             )
@@ -92,6 +102,34 @@ class CxRole(ServerRole):
         self.participant.on_crash()
 
     # -- dispatch -----------------------------------------------------------------
+
+    def handle_fast(self, msg: Message) -> bool:
+        """Serve inline the message kinds that never yield.
+
+        Mirrors :meth:`handle` exactly for these kinds — a duplicate
+        REQ answered from the pending/completed tables, a VOTE whose
+        ops all executed here already, L-COM, and the recovery markers
+        — so the dispatch slot can skip generator creation.
+        """
+        kind = msg.kind
+        if kind is MessageKind.REQ:
+            # False (non-duplicate) leaves no side effects; the generator
+            # path re-runs the same table lookups and proceeds to execute.
+            return self._resend_duplicate(msg, msg.payload["subop"])
+        if kind is MessageKind.VOTE:
+            return self.participant.vote_fast(msg)
+        if kind is MessageKind.L_COM:
+            self._handle_lcom(msg)
+            return True
+        if kind is MessageKind.RECOVERY_BEGIN:
+            self.server.quiesce()
+            self.server.send_reply(msg, MessageKind.ACK, {})
+            return True
+        if kind is MessageKind.RECOVERY_END:
+            self.server.unquiesce()
+            self.server.send_reply(msg, MessageKind.ACK, {})
+            return True
+        return False
 
     def handle(self, msg: Message) -> Generator:
         kind = msg.kind
@@ -153,9 +191,12 @@ class CxRole(ServerRole):
         if foreign:
             # Conflict: block this sub-op behind the newest pending
             # operation and get every holder committed immediately.
-            self.server.metrics.counter("conflicts").inc()
-            if self.server.tracer.enabled:
-                self.server.tracer.event(
+            m = self._m_conflicts
+            if m is None:
+                m = self._m_conflicts = self.metrics.counter("conflicts")
+            m.inc()
+            if self.tracer.enabled:
+                self.tracer.event(
                     "conflict", self.server.node_id, cat="protocol",
                     op_id=op_id, blocked_behind=foreign[-1],
                 )
@@ -233,7 +274,7 @@ class CxRole(ServerRole):
         if cross:
             self.active.register(op_id, keys)
 
-        tracer = self.server.tracer
+        tracer = self.tracer
         exec_span = (
             tracer.begin(
                 "exec", self.server.node_id, op_id=op_id,
@@ -349,9 +390,12 @@ class CxRole(ServerRole):
         if all_no_dst is not None:
             # Client-driven L-COM: the completion rule saw a YES/NO
             # disagreement (paper §III.B step 7b).
-            self.server.metrics.counter("disagreements").inc()
-            if self.server.tracer.enabled:
-                self.server.tracer.event(
+            m = self._m_disagreements
+            if m is None:
+                m = self._m_disagreements = self.metrics.counter("disagreements")
+            m.inc()
+            if self.tracer.enabled:
+                self.tracer.event(
                     "disagreement", self.server.node_id, cat="protocol",
                     op_id=op_id, src=msg.src,
                 )

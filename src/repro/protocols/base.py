@@ -61,6 +61,20 @@ class ServerRole(abc.ABC):
     def handle(self, msg: Message) -> Generator:
         """Process one incoming message (runs as its own process)."""
 
+    def handle_fast(self, msg: Message) -> bool:
+        """Synchronously handle ``msg`` if no yield would be needed.
+
+        Called by the dispatch slot before any generator is created
+        (never for rename messages — those always take
+        :meth:`handle_rename`).  Return ``True`` if the message was
+        completely handled; return ``False`` *without observable side
+        effects* to fall back to :meth:`handle`.  Override only for
+        message kinds the protocol can serve inline — no disk, no
+        timeouts, no waiting — with effects identical to the generator
+        path's (replays must stay bit-identical either way).
+        """
+        return False
+
     def flush_now(self) -> None:
         """Force any lazy/batched work to be scheduled immediately."""
 

@@ -9,8 +9,11 @@ Two benchmark families, two JSON artifacts:
 * **BENCH_experiments.json** — the experiment-grid numbers: the fig5
   grid run serially and through the parallel runner *in the same
   invocation*, with the wall-clock speedup recorded next to the host's
-  core count (speedup tracks ``min(jobs, cores, cells)`` — a 1-core
-  host shows ~1x however many workers fan out).
+  core count and the *effective* worker count
+  (``min(jobs, cores, cells)``).  When the effective count is 1 — a
+  1-core host however many workers fan out — the speedup cross-check
+  is skipped and an explanatory note recorded instead, since the
+  number would measure scheduler noise, not the runner.
 
 Artifacts are plain JSON so successive runs diff cleanly; later perf
 PRs are measured against the trajectory these files establish.
@@ -145,6 +148,8 @@ def bench_experiments(
     """The fig5 grid, serial vs fanned out, in the same invocation."""
     from repro.workloads import TRACE_SPECS
 
+    host = _host()
+    cores = int(host["cpu_count"])  # type: ignore[arg-type]
     traces = ["CTH", "home2"] if quick else list(TRACE_SPECS)
     # The trajectory's reference configuration is 8 workers; an
     # explicit --jobs overrides it (0 = all cores).
@@ -153,6 +158,11 @@ def bench_experiments(
 
     serial = run_tasks(tasks, jobs=1)
     parallel = run_tasks(tasks, jobs=jobs)
+    # What the pool can actually exploit: a 1-core host runs 8 workers
+    # strictly interleaved, so "speedup" there measures scheduler noise,
+    # not the runner.  Record the effective width next to the request
+    # and skip the serial-vs-parallel cross-check when it is 1.
+    effective_jobs = min(parallel.jobs, cores, len(tasks))
 
     identical = [
         (a.summary.protocol, a.summary.replay_time, a.summary.total_ops,
@@ -161,27 +171,38 @@ def bench_experiments(
             b.summary.messages)
         for a, b in zip(serial.outcomes, parallel.outcomes)
     ]
-    return {
+    payload: Dict[str, object] = {
         "bench": "experiments",
         "quick": quick,
-        "host": _host(),
+        "host": host,
         "experiment": "fig5",
         "traces": traces,
         "cells": len(tasks),
         "jobs": parallel.jobs,
+        "effective_jobs": effective_jobs,
         "fell_back_serial": parallel.fell_back_serial,
         "serial_wall_seconds": serial.wall_time,
         "parallel_wall_seconds": parallel.wall_time,
-        "speedup": (
-            serial.wall_time / parallel.wall_time
-            if parallel.wall_time > 0 else 0.0
-        ),
         "results_identical": all(identical),
         "cell_wall_seconds": {
             f"{o.task.trace}/{o.task.protocol}": o.wall_time
             for o in serial.outcomes
         },
     }
+    if effective_jobs <= 1:
+        payload["speedup"] = None
+        payload["speedup_note"] = (
+            f"speedup cross-check skipped: effective parallelism is "
+            f"{effective_jobs} (jobs={parallel.jobs}, cores={cores}, "
+            f"cells={len(tasks)}), so serial-vs-parallel wall time "
+            "measures scheduler noise rather than the runner"
+        )
+    else:
+        payload["speedup"] = (
+            serial.wall_time / parallel.wall_time
+            if parallel.wall_time > 0 else 0.0
+        )
+    return payload
 
 
 def render_bench(kernel: Dict[str, object],
@@ -197,12 +218,19 @@ def render_bench(kernel: Dict[str, object],
             f"replay {r['trace']}/{protocol}: {r['wall_seconds']:.2f}s, "
             f"{r['events_per_sec']:,.0f} events/s, {r['ops_per_sec']:,.0f} ops/s"
         )
+    speedup = experiments["speedup"]
+    speedup_text = (
+        f"speedup {speedup:.2f}x" if speedup is not None
+        else "speedup n/a (1-core host)"
+    )
     lines.append(
         f"fig5 grid ({experiments['cells']} cells, "
-        f"{experiments['jobs']} jobs, {experiments['host']['cpu_count']} cores): "
+        f"{experiments['jobs']} jobs "
+        f"[{experiments['effective_jobs']} effective], "
+        f"{experiments['host']['cpu_count']} cores): "
         f"serial {experiments['serial_wall_seconds']:.1f}s, "
         f"parallel {experiments['parallel_wall_seconds']:.1f}s, "
-        f"speedup {experiments['speedup']:.2f}x, "
+        f"{speedup_text}, "
         f"identical={experiments['results_identical']}"
     )
     return "\n".join(lines)

@@ -1,0 +1,155 @@
+"""``python -m repro perf-gate`` — CI regression gate over the bench.
+
+Runs the quick kernel bench and compares every ``events_per_sec``
+number (the event-loop microbenchmark and each protocol's canonical
+replay) against the committed ``BENCH_kernel.json`` trajectory file:
+
+* ratio below the **fail** threshold (default 0.7x) -> exit code 1;
+* ratio below the **warn** threshold (default 0.9x) -> warning, exit 0;
+* otherwise the row passes.
+
+The thresholds are deliberately loose: the committed baseline is a
+full-size run while the gate runs ``--quick`` (different replay scale,
+so absolute throughput differs somewhat), and CI hosts are noisy.  The
+gate exists to catch the step-function regressions a hot-path refactor
+can introduce — a 2x slowdown — not 5% drift; the committed trajectory
+files remain the precision record.
+
+The fresh quick-bench payload is written next to the report (default
+``BENCH_kernel_fresh.json``) so CI can upload it as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.runner.bench import KERNEL_FILE, bench_kernel
+
+#: Fresh quick-bench payload, uploaded by CI next to the report.
+FRESH_FILE = "BENCH_kernel_fresh.json"
+
+FAIL_RATIO = 0.7
+WARN_RATIO = 0.9
+
+
+@dataclass
+class GateRow:
+    """One compared events/sec number."""
+
+    key: str
+    baseline: float
+    fresh: float
+    ratio: float
+    status: str  # "pass" | "warn" | "fail"
+
+
+@dataclass
+class GateReport:
+    rows: List[GateRow] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+    fail_ratio: float = FAIL_RATIO
+    warn_ratio: float = WARN_RATIO
+
+    @property
+    def failed(self) -> bool:
+        return any(r.status == "fail" for r in self.rows)
+
+    @property
+    def text(self) -> str:
+        lines = [
+            f"perf gate: fail below {self.fail_ratio:.2f}x, "
+            f"warn below {self.warn_ratio:.2f}x of committed {KERNEL_FILE}"
+        ]
+        for r in self.rows:
+            lines.append(
+                f"  [{r.status.upper():>4}] {r.key}: "
+                f"{r.fresh:,.0f} events/s vs baseline {r.baseline:,.0f} "
+                f"({r.ratio:.2f}x)"
+            )
+        for key in self.skipped:
+            lines.append(f"  [SKIP] {key}: not in both baseline and fresh run")
+        verdict = "FAIL" if self.failed else "PASS"
+        lines.append(f"perf gate verdict: {verdict}")
+        return "\n".join(lines)
+
+
+def _rates(payload: Dict[str, object]) -> Dict[str, float]:
+    """Flatten a BENCH_kernel payload to ``key -> events_per_sec``."""
+    rates: Dict[str, float] = {}
+    loop = payload.get("event_loop")
+    if isinstance(loop, dict) and "events_per_sec" in loop:
+        rates["event_loop"] = float(loop["events_per_sec"])
+    replays = payload.get("replays")
+    if isinstance(replays, dict):
+        for protocol, row in replays.items():
+            if isinstance(row, dict) and "events_per_sec" in row:
+                rates[f"replay/{row.get('trace', '?')}/{protocol}"] = float(
+                    row["events_per_sec"]
+                )
+    return rates
+
+
+def compare(
+    baseline: Dict[str, object],
+    fresh: Dict[str, object],
+    fail_ratio: float = FAIL_RATIO,
+    warn_ratio: float = WARN_RATIO,
+) -> GateReport:
+    """Pure comparison of two BENCH_kernel payloads (testable)."""
+    base_rates = _rates(baseline)
+    fresh_rates = _rates(fresh)
+    report = GateReport(fail_ratio=fail_ratio, warn_ratio=warn_ratio)
+    for key in sorted(set(base_rates) | set(fresh_rates)):
+        if key not in base_rates or key not in fresh_rates:
+            report.skipped.append(key)
+            continue
+        base = base_rates[key]
+        new = fresh_rates[key]
+        ratio = new / base if base > 0 else float("inf")
+        if ratio < fail_ratio:
+            status = "fail"
+        elif ratio < warn_ratio:
+            status = "warn"
+        else:
+            status = "pass"
+        report.rows.append(
+            GateRow(key=key, baseline=base, fresh=new, ratio=ratio,
+                    status=status)
+        )
+    return report
+
+
+def run_perf_gate(
+    baseline_path: Optional[str] = None,
+    fresh_path: Optional[str] = None,
+    quick: bool = True,
+    seed: int = 0,
+    fail_ratio: float = FAIL_RATIO,
+    warn_ratio: float = WARN_RATIO,
+) -> int:
+    """Run the gate end to end; returns the process exit code."""
+    baseline_path = baseline_path or KERNEL_FILE
+    fresh_path = fresh_path or FRESH_FILE
+    if not os.path.exists(baseline_path):
+        print(
+            f"perf gate: no committed baseline at {baseline_path}; "
+            "run 'python -m repro bench' and commit BENCH_kernel.json"
+        )
+        return 1
+    with open(baseline_path, "r", encoding="utf-8") as fh:
+        baseline = json.load(fh)
+
+    fresh = bench_kernel(quick=quick, seed=seed)
+    with open(fresh_path, "w", encoding="utf-8") as fh:
+        json.dump(fresh, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    report = compare(
+        baseline, fresh, fail_ratio=fail_ratio, warn_ratio=warn_ratio
+    )
+    print(report.text)
+    print(f"fresh quick-bench payload written to {fresh_path}")
+    return 1 if report.failed else 0

@@ -1,0 +1,212 @@
+"""``python -m repro profile`` — cProfile one replay cell or experiment.
+
+The perf work in this repo is replay-bound: the interesting wall-clock
+lives in the event kernel, the dispatch path, and the Cx commitment
+hot path.  This driver runs one experiment's canonical replay cell (the
+same cell ``python -m repro trace`` reproduces) under :mod:`cProfile`
+and prints the top-N hotspots by cumulative time, so a perf PR can
+show its before/after profile without ad-hoc scripting::
+
+    python -m repro profile fig5                  # fig5's canonical cell
+    python -m repro profile fig5 --trace CTH      # explicit workload
+    python -m repro profile fig8 --top 40
+    python -m repro profile table2                # whole experiment entry
+
+Experiments with a traced-replay mapping (``fig5``, ``fig8``,
+``table4``) profile that single replay cell — the stream-plan cache is
+warmed first so trace *generation* does not pollute the replay profile.
+Any other experiment id is profiled as its full entry function.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import pstats
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Rows shown / recorded by default.
+DEFAULT_TOP = 25
+
+
+@dataclass
+class Hotspot:
+    """One row of the profile report."""
+
+    function: str
+    ncalls: int
+    tottime: float
+    cumtime: float
+
+
+@dataclass
+class ProfileReport:
+    """A profiled run plus its top hotspots."""
+
+    experiment: str
+    workload: Optional[str]
+    protocol: Optional[str]
+    wall_seconds: float
+    events_processed: Optional[int]
+    total_ops: Optional[int]
+    hotspots: List[Hotspot] = field(default_factory=list)
+
+    @property
+    def text(self) -> str:
+        target = self.experiment
+        if self.workload is not None:
+            target += f" (workload={self.workload}, protocol={self.protocol})"
+        lines = [f"profile {target}: {self.wall_seconds:.3f}s wall"]
+        if self.events_processed is not None:
+            rate = (
+                self.events_processed / self.wall_seconds
+                if self.wall_seconds > 0 else 0.0
+            )
+            lines.append(
+                f"  events={self.events_processed} ops={self.total_ops} "
+                f"({rate:,.0f} events/s under the profiler)"
+            )
+        lines.append("")
+        lines.append(
+            f"{'ncalls':>10}  {'tottime':>8}  {'cumtime':>8}  function"
+        )
+        for h in self.hotspots:
+            lines.append(
+                f"{h.ncalls:>10}  {h.tottime:>8.3f}  {h.cumtime:>8.3f}  "
+                f"{h.function}"
+            )
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "experiment": self.experiment,
+            "workload": self.workload,
+            "protocol": self.protocol,
+            "wall_seconds": self.wall_seconds,
+            "events_processed": self.events_processed,
+            "total_ops": self.total_ops,
+            "hotspots": [
+                {
+                    "function": h.function,
+                    "ncalls": h.ncalls,
+                    "tottime": h.tottime,
+                    "cumtime": h.cumtime,
+                }
+                for h in self.hotspots
+            ],
+        }
+
+
+def _short_func(func) -> str:
+    """``pstats`` key -> compact ``path:line(name)`` label."""
+    filename, line, name = func
+    if filename == "~":  # built-in
+        return name
+    for marker in ("/repro/", "\\repro\\"):
+        idx = filename.rfind(marker)
+        if idx >= 0:
+            filename = "repro/" + filename[idx + len(marker):]
+            break
+    return f"{filename}:{line}({name})"
+
+
+def _collect_hotspots(
+    profiler: cProfile.Profile, top: int, sort: str
+) -> List[Hotspot]:
+    stats = pstats.Stats(profiler, stream=io.StringIO())
+    stats.sort_stats(sort)
+    rows = []
+    for func in stats.fcn_list[:top]:
+        _cc, ncalls, tottime, cumtime, _callers = stats.stats[func]
+        rows.append(
+            Hotspot(
+                function=_short_func(func),
+                ncalls=ncalls,
+                tottime=tottime,
+                cumtime=cumtime,
+            )
+        )
+    return rows
+
+
+def profile_experiment(
+    experiment: str,
+    workload: Optional[str] = None,
+    protocol: Optional[str] = None,
+    seed: int = 0,
+    scale: Optional[float] = None,
+    top: int = DEFAULT_TOP,
+    sort: str = "cumulative",
+    json_file: Optional[str] = None,
+) -> ProfileReport:
+    """Profile one experiment and return the hotspot report.
+
+    Experiments with a canonical replay cell (the ``TRACEABLE`` map of
+    :mod:`repro.experiments.tracing`) profile exactly that cell through
+    :func:`repro.runner.tasks.execute_task`; every other experiment id
+    is profiled as its whole entry function.
+    """
+    import time
+
+    from repro.experiments.tracing import TRACEABLE
+
+    spec = TRACEABLE.get(experiment)
+    profiler = cProfile.Profile()
+    events: Optional[int] = None
+    ops: Optional[int] = None
+
+    if spec is not None:
+        from repro.runner.tasks import ReplayTask, execute_task
+
+        workload = workload or spec["workload"]
+        protocol = protocol or spec["protocol"]
+        task = ReplayTask(
+            kind="trace", trace=workload, protocol=protocol,
+            seed=seed, scale=scale,
+        )
+        # Warm the stream-plan cache: the profile should show replay
+        # cost, not one-off trace generation.
+        execute_task(task)
+        start = time.perf_counter()
+        profiler.enable()
+        summary = execute_task(task)
+        profiler.disable()
+        wall = time.perf_counter() - start
+        events = summary.events_processed
+        ops = summary.total_ops
+    else:
+        import inspect
+
+        from repro import experiments as exp
+
+        runner = getattr(exp, f"run_{experiment}", None)
+        if runner is None:
+            raise ValueError(
+                f"unknown experiment {experiment!r}; profileable cells: "
+                f"{', '.join(sorted(TRACEABLE))}, or any experiment id"
+            )
+        workload = protocol = None
+        accepted = inspect.signature(runner).parameters
+        kwargs = {k: v for k, v in (("seed", seed),) if k in accepted}
+        start = time.perf_counter()
+        profiler.enable()
+        runner(**kwargs)
+        profiler.disable()
+        wall = time.perf_counter() - start
+
+    report = ProfileReport(
+        experiment=experiment,
+        workload=workload,
+        protocol=protocol,
+        wall_seconds=wall,
+        events_processed=events,
+        total_ops=ops,
+        hotspots=_collect_hotspots(profiler, top, sort),
+    )
+    if json_file:
+        with open(json_file, "w", encoding="utf-8") as fh:
+            json.dump(report.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return report

@@ -120,7 +120,18 @@ def execute_task(task: ReplayTask) -> ReplaySummary:
     Deterministic for a fixed spec: the cluster, workload, and replay
     are all seeded from the task itself, so the outcome is independent
     of which worker runs it and in what order.
+
+    Runs inside a :func:`~repro.sim.kernel_sprint` (cyclic GC paused):
+    the replay hot path is cycle-free, and collector pauses otherwise
+    eat a measurable slice of every cell.
     """
+    from repro.sim import kernel_sprint
+
+    with kernel_sprint():
+        return _execute_task(task)
+
+
+def _execute_task(task: ReplayTask) -> ReplaySummary:
     # Imported here, not at module top: workers may be freshly spawned
     # interpreters, and the experiment layer must not import the runner
     # at import time (it does the reverse).

@@ -13,7 +13,7 @@ order of scheduling, so two runs with the same seeds produce identical
 histories.
 """
 
-from repro.sim.core import Simulator
+from repro.sim.core import Simulator, kernel_sprint
 from repro.sim.events import (
     AllOf,
     AnyOf,
@@ -38,4 +38,5 @@ __all__ = [
     "Simulator",
     "Store",
     "Timeout",
+    "kernel_sprint",
 ]

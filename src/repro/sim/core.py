@@ -1,9 +1,58 @@
-"""The simulator: virtual clock plus an ordered event queue."""
+"""The simulator: virtual clock plus an ordered event queue.
+
+Queue design (see DESIGN.md "Performance")
+------------------------------------------
+
+Events are logically ordered by ``(time, priority, sequence)``; the
+sequence number is assigned at scheduling time, making runs fully
+reproducible for fixed RNG seeds.  Physically the queue is split so the
+dominant scheduling pattern pays no heap work at all:
+
+* **Same-timestamp FIFO fast lanes.**  Most schedules are ``delay=0``
+  wakeups — an event ``succeed()``-ing, a store handing an item to a
+  getter, a process bootstrapping.  A ``delay=0`` event's sort key is
+  ``(now, priority, fresh-seq)``: it orders after every queued event at
+  the current instant of the same priority (its sequence number is the
+  largest assigned so far) and before everything at a later time
+  (pending heap entries all have ``time >= now``).  So it goes to a
+  plain deque — one per priority — and pops in FIFO order, O(1) with no
+  tuple allocation and no heap sift.  The lanes drain before the clock
+  may advance, so their entries are always stamped ``time == now``.
+
+* **Pooled-node heap.**  Real delays (``delay > 0``) still use a binary
+  heap, but its nodes are reusable 4-slot lists drawn from a free pool
+  instead of per-event tuples; a popped node goes back to the pool, so
+  steady-state heap traffic allocates nothing.
+
+The only interleaving the pop path must arbitrate is a heap entry
+whose time has *become* the current instant (scheduled earlier with a
+real delay) against lane entries scheduled later at the same instant;
+the sequence-number comparison in the pop path resolves it exactly as
+the old single-heap ordering did.  Pop order — and therefore every
+replay result — is bit-identical to the previous tuple-heap kernel
+(``tests/sim/test_queue_equivalence.py`` and the golden-replay test
+pin this).
+
+Typical usage::
+
+    sim = Simulator()
+
+    def worker(sim):
+        yield sim.timeout(1.0)
+        return "done"
+
+    proc = sim.process(worker(sim))
+    sim.run()
+    assert proc.value == "done"
+"""
 
 from __future__ import annotations
 
+import gc
 import heapq
-from typing import Any, Generator, Iterable, Optional
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Generator, Iterable, Iterator, Optional
 
 from repro.sim.events import (
     AllOf,
@@ -19,29 +68,49 @@ class SimulationError(RuntimeError):
     """An event failed with nobody waiting on it."""
 
 
+@contextmanager
+def kernel_sprint() -> Iterator[None]:
+    """Pause the cyclic garbage collector for the duration of a replay.
+
+    The kernel's hot path is allocation-heavy but cycle-free (events,
+    heap nodes, and handler frames die by refcount), so the collector's
+    periodic full-generation scans are pure overhead while a replay is
+    driving millions of events.  Pausing it is worth ~10-20% of replay
+    wall time and has no effect on simulation results.
+
+    Only touches the collector if it was enabled on entry (so nested
+    sprints and externally-disabled GC are safe); re-enables it and
+    collects once on exit so cycles created by the workload itself
+    cannot accumulate across replays.
+    """
+    if not gc.isenabled():
+        yield
+        return
+    gc.disable()
+    try:
+        yield
+    finally:
+        gc.enable()
+        gc.collect()
+
+
 class Simulator:
     """Deterministic discrete-event simulator.
 
-    Events are processed in ``(time, priority, sequence)`` order; the
-    sequence number is assigned at scheduling time, making runs fully
-    reproducible for fixed RNG seeds.
-
-    Typical usage::
-
-        sim = Simulator()
-
-        def worker(sim):
-            yield sim.timeout(1.0)
-            return "done"
-
-        proc = sim.process(worker(sim))
-        sim.run()
-        assert proc.value == "done"
+    Events are processed in ``(time, priority, sequence)`` order; see
+    the module docstring for how the queue realizes that order without
+    a heap operation per event.
     """
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[tuple[float, int, int, Event]] = []
+        #: Delayed events: pooled ``[time, priority, seq, event]`` nodes.
+        self._heap: list[list] = []
+        #: Recycled heap nodes (bounded by the high-water heap size).
+        self._free_nodes: list[list] = []
+        #: delay=0 fast lanes; every queued event has ``time == now``.
+        self._lane_urgent: deque[Event] = deque()
+        self._lane_normal: deque[Event] = deque()
         # Plain int counter: ``next(itertools.count())`` costs a call per
         # schedule(), which is measurable at millions of events per replay.
         self._seq = 0
@@ -65,7 +134,23 @@ class Simulator:
             raise ValueError(f"cannot schedule into the past (delay={delay!r})")
         seq = self._seq
         self._seq = seq + 1
-        heapq.heappush(self._heap, (self._now + delay, priority, seq, event))
+        if delay == 0.0:
+            event._qseq = seq
+            if priority:  # PRIORITY_NORMAL
+                self._lane_normal.append(event)
+            else:
+                self._lane_urgent.append(event)
+            return
+        free = self._free_nodes
+        if free:
+            node = free.pop()
+            node[0] = self._now + delay
+            node[1] = priority
+            node[2] = seq
+            node[3] = event
+        else:
+            node = [self._now + delay, priority, seq, event]
+        heapq.heappush(self._heap, node)
 
     # -- event factories --------------------------------------------------
 
@@ -93,12 +178,51 @@ class Simulator:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if idle."""
+        if self._lane_urgent or self._lane_normal:
+            return self._now  # lane entries are due at the current instant
         return self._heap[0][0] if self._heap else float("inf")
+
+    def _pop_next(self) -> Event:
+        """Remove and return the next event in (time, priority, seq) order.
+
+        Advances the clock when the winner comes off the heap at a later
+        time.  Raises :class:`IndexError` when the queue is empty.
+        """
+        heap = self._heap
+        lane = self._lane_urgent
+        if lane:
+            if heap:
+                h = heap[0]
+                # An urgent heap entry due now that was scheduled before
+                # the lane's front pops first.
+                if h[0] == self._now and h[1] == 0 and h[2] < lane[0]._qseq:
+                    ev = h[3]
+                    h[3] = None
+                    self._free_nodes.append(heapq.heappop(heap))
+                    return ev
+            return lane.popleft()
+        lane = self._lane_normal
+        if lane:
+            if heap:
+                h = heap[0]
+                # Urgent beats normal at the same instant regardless of
+                # sequence; equal priority falls back to schedule order.
+                if h[0] == self._now and (h[1] == 0 or h[2] < lane[0]._qseq):
+                    ev = h[3]
+                    h[3] = None
+                    self._free_nodes.append(heapq.heappop(heap))
+                    return ev
+            return lane.popleft()
+        node = heapq.heappop(heap)
+        self._now = node[0]
+        ev = node[3]
+        node[3] = None
+        self._free_nodes.append(node)
+        return ev
 
     def step(self) -> None:
         """Process exactly one event."""
-        when, _prio, _seq, event = heapq.heappop(self._heap)
-        self._now = when
+        event = self._pop_next()
         callbacks = event.callbacks
         event.callbacks = None  # mark processed
         self.events_processed += 1
@@ -117,30 +241,69 @@ class Simulator:
         With ``until`` given, the clock is advanced to exactly ``until``
         even if the queue drains early, so periodic measurements line up.
 
-        The body of :meth:`step` is inlined here (and in
-        :meth:`run_until`): at hundreds of thousands of events per
+        The body of :meth:`step` (and :meth:`_pop_next`) is inlined here
+        and in :meth:`run_until`: at hundreds of thousands of events per
         replay, the per-event method call and attribute lookups are a
         measurable share of the whole run.
         """
         if until is not None and until < self._now:
             raise ValueError(f"until={until!r} is in the past (now={self._now!r})")
         heap = self._heap
+        lane_u = self._lane_urgent
+        lane_n = self._lane_normal
+        free = self._free_nodes
         pop = heapq.heappop
-        while heap:
-            if until is not None and heap[0][0] > until:
-                break
-            when, _prio, _seq, event = pop(heap)
-            self._now = when
-            callbacks = event.callbacks
-            event.callbacks = None  # mark processed
-            self.events_processed += 1
-            for cb in callbacks:  # type: ignore[union-attr]
-                cb(event)
-            if event._ok is False and not event._defused:
-                exc = event._exc
-                raise SimulationError(
-                    f"unhandled failure of {event!r} at t={self._now:.6f}: {exc!r}"
-                ) from exc
+        # The event counter lives in a local inside the loop (an attribute
+        # store per event is measurable); the finally block publishes it
+        # even when a callback raises.
+        processed = self.events_processed
+        try:
+            while True:
+                if lane_u:
+                    event = None
+                    if heap:
+                        h = heap[0]
+                        if h[0] == self._now and h[1] == 0 and h[2] < lane_u[0]._qseq:
+                            event = h[3]
+                            h[3] = None
+                            free.append(pop(heap))
+                    if event is None:
+                        event = lane_u.popleft()
+                elif lane_n:
+                    event = None
+                    if heap:
+                        h = heap[0]
+                        if h[0] == self._now and (h[1] == 0 or h[2] < lane_n[0]._qseq):
+                            event = h[3]
+                            h[3] = None
+                            free.append(pop(heap))
+                    if event is None:
+                        event = lane_n.popleft()
+                elif heap:
+                    if until is not None and heap[0][0] > until:
+                        break
+                    node = pop(heap)
+                    self._now = node[0]
+                    event = node[3]
+                    node[3] = None
+                    free.append(node)
+                else:
+                    break
+                callbacks = event.callbacks
+                event.callbacks = None  # mark processed
+                processed += 1
+                if len(callbacks) == 1:  # type: ignore[arg-type]
+                    callbacks[0](event)  # type: ignore[index]
+                else:
+                    for cb in callbacks:  # type: ignore[union-attr]
+                        cb(event)
+                if event._ok is False and not event._defused:
+                    exc = event._exc
+                    raise SimulationError(
+                        f"unhandled failure of {event!r} at t={self._now:.6f}: {exc!r}"
+                    ) from exc
+        finally:
+            self.events_processed = processed
         if until is not None:
             self._now = until
 
@@ -155,24 +318,58 @@ class Simulator:
                 lambda e: e.defuse() if e._ok is False else None
             )
         heap = self._heap
+        lane_u = self._lane_urgent
+        lane_n = self._lane_normal
+        free = self._free_nodes
         pop = heapq.heappop
-        while event.callbacks is not None:  # not yet processed
-            if not heap:
-                raise SimulationError(
-                    f"queue drained before {event!r} was processed"
-                )
-            when, _prio, _seq, popped = pop(heap)
-            self._now = when
-            callbacks = popped.callbacks
-            popped.callbacks = None  # mark processed
-            self.events_processed += 1
-            for cb in callbacks:  # type: ignore[union-attr]
-                cb(popped)
-            if popped._ok is False and not popped._defused:
-                exc = popped._exc
-                raise SimulationError(
-                    f"unhandled failure of {popped!r} at t={self._now:.6f}: {exc!r}"
-                ) from exc
+        processed = self.events_processed
+        try:
+            while event.callbacks is not None:  # not yet processed
+                if lane_u:
+                    popped = None
+                    if heap:
+                        h = heap[0]
+                        if h[0] == self._now and h[1] == 0 and h[2] < lane_u[0]._qseq:
+                            popped = h[3]
+                            h[3] = None
+                            free.append(pop(heap))
+                    if popped is None:
+                        popped = lane_u.popleft()
+                elif lane_n:
+                    popped = None
+                    if heap:
+                        h = heap[0]
+                        if h[0] == self._now and (h[1] == 0 or h[2] < lane_n[0]._qseq):
+                            popped = h[3]
+                            h[3] = None
+                            free.append(pop(heap))
+                    if popped is None:
+                        popped = lane_n.popleft()
+                elif heap:
+                    node = pop(heap)
+                    self._now = node[0]
+                    popped = node[3]
+                    node[3] = None
+                    free.append(node)
+                else:
+                    raise SimulationError(
+                        f"queue drained before {event!r} was processed"
+                    )
+                callbacks = popped.callbacks
+                popped.callbacks = None  # mark processed
+                processed += 1
+                if len(callbacks) == 1:  # type: ignore[arg-type]
+                    callbacks[0](popped)  # type: ignore[index]
+                else:
+                    for cb in callbacks:  # type: ignore[union-attr]
+                        cb(popped)
+                if popped._ok is False and not popped._defused:
+                    exc = popped._exc
+                    raise SimulationError(
+                        f"unhandled failure of {popped!r} at t={self._now:.6f}: {exc!r}"
+                    ) from exc
+        finally:
+            self.events_processed = processed
         if event._ok is False:
             event.defuse()
             raise event._exc  # type: ignore[misc]

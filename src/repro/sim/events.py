@@ -52,7 +52,7 @@ class Event:
     in registration order when the simulator processes the event.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_exc", "_ok", "_defused")
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "_ok", "_defused", "_qseq")
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
@@ -62,6 +62,9 @@ class Event:
         self._exc: Optional[BaseException] = None
         self._ok: Optional[bool] = None
         self._defused = False
+        #: Scheduling sequence number, stamped by the simulator when the
+        #: event enters a same-timestamp fast lane (see repro.sim.core).
+        self._qseq = 0
 
     # -- state ---------------------------------------------------------
 
@@ -111,7 +114,15 @@ class Event:
             raise EventAlreadyTriggered(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.sim.schedule(self, delay=delay)
+        if delay == 0.0:
+            # The schedule() fast lane, inlined: an immediate wakeup is
+            # the single most frequent kernel operation of a replay.
+            sim = self.sim
+            self._qseq = sim._seq
+            sim._seq += 1
+            sim._lane_normal.append(self)
+        else:
+            self.sim.schedule(self, delay=delay)
         return self
 
     def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":

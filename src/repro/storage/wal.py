@@ -49,6 +49,10 @@ class LogRecord:
     #: until pruning (Cx invalidates Result-Records of re-ordered
     #: sub-ops during disordered-conflict handling).
     invalid: bool = False
+    #: True for records drawn from a WAL's recycling pool (see
+    #: :meth:`WriteAheadLog.commit_record`); excluded from comparisons
+    #: so pooled and fresh records stay interchangeable.
+    _pooled: bool = field(default=False, compare=False, repr=False)
 
 
 class WriteAheadLog:
@@ -93,6 +97,11 @@ class WriteAheadLog:
         #: Node id used in trace records (the owning server overrides
         #: this with its own id so log events land on the server's row).
         self.trace_node: str = name
+        #: Recycled commitment records (see :meth:`commit_record`).
+        self._record_pool: List[LogRecord] = []
+        #: (wal.syncs counter, sync_bytes + sync_records histograms),
+        #: resolved lazily like ``_append_meters``.
+        self._flush_meters: Optional[tuple] = None
         self._flusher = sim.process(self._flush_loop())
 
     # -- queries -----------------------------------------------------------
@@ -111,6 +120,32 @@ class WriteAheadLog:
         if self.capacity is None:
             return None
         return self.capacity - self.valid_bytes
+
+    # -- record pooling ----------------------------------------------------
+
+    def commit_record(self, op_id: OpId, rtype: str) -> LogRecord:
+        """A pooled commitment record (Commit/Abort/Complete).
+
+        Commitment records are the only safely poolable kind: they are
+        payload-free, live exactly from append to :meth:`prune_op`, and
+        nothing outside the log retains them (Result-Records, by
+        contrast, stay referenced by the protocol's pending tables and
+        recovery).  The pool turns the per-decision dataclass churn of
+        a commitment-heavy replay into attribute stores.
+        """
+        pool = self._record_pool
+        if pool:
+            rec = pool.pop()
+            rec.op_id = op_id
+            rec.rtype = rtype
+            rec.size = self.params.log_record_size
+            rec.invalid = False
+            if rec.payload:  # pragma: no cover - commitment records carry none
+                rec.payload.clear()
+            return rec
+        return LogRecord(
+            op_id, rtype, size=self.params.log_record_size, _pooled=True
+        )
 
     # -- appends -----------------------------------------------------------
 
@@ -177,10 +212,21 @@ class WriteAheadLog:
         records = self._index.pop(op_id, None)
         if not records:
             return 0
-        freed = sum(r.size for r in records)
+        freed = 0
+        pool = self._record_pool
+        for r in records:
+            freed += r.size
+            if r._pooled:
+                pool.append(r)
         self.valid_bytes -= freed
         if self.metrics is not None:
-            self.metrics.gauge("wal.valid_bytes").set(self.valid_bytes)
+            m = self._append_meters
+            if m is None:
+                m = self._append_meters = (
+                    self.metrics.counter("wal.appends"),
+                    self.metrics.gauge("wal.valid_bytes"),
+                )
+            m[1].set(self.valid_bytes)
         if self.tracer.enabled:
             self.tracer.event(
                 "wal.prune", self.trace_node, cat="wal",
@@ -261,9 +307,16 @@ class WriteAheadLog:
             if sync_span is not None:
                 sync_span.end()
             if self.metrics is not None:
-                self.metrics.counter("wal.syncs").inc()
-                self.metrics.histogram("wal.sync_bytes").observe(nbytes)
-                self.metrics.histogram("wal.sync_records").observe(len(batch))
+                m = self._flush_meters
+                if m is None:
+                    m = self._flush_meters = (
+                        self.metrics.counter("wal.syncs"),
+                        self.metrics.histogram("wal.sync_bytes"),
+                        self.metrics.histogram("wal.sync_records"),
+                    )
+                m[0].inc()
+                m[1].observe(nbytes)
+                m[2].observe(len(batch))
             for rec, done in batch:
                 try:
                     self._unflushed.remove(rec)

@@ -1,0 +1,46 @@
+"""Regenerate ``replay_golden.json`` (intentional semantic changes only).
+
+Usage::
+
+    PYTHONPATH=src python tests/golden/regen_golden.py
+
+Only run this when a PR *deliberately* changes replay semantics (new
+protocol behavior, parameter defaults, trace generation).  A perf PR
+must never need it — if the golden tests fail under a pure
+optimization, the optimization is wrong.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import asdict
+
+from repro.runner.tasks import ReplayTask, execute_task
+
+GOLDEN_FILE = pathlib.Path(__file__).parent / "replay_golden.json"
+
+CELLS = {
+    "fig5_CTH_cx": ReplayTask(kind="trace", trace="CTH", protocol="cx",
+                              seed=0),
+    "fig8_home2_cx_inject0.12": ReplayTask(kind="inject", trace="home2",
+                                           protocol="cx", seed=0,
+                                           p_inject=0.12),
+}
+
+
+def main() -> None:
+    payload = {}
+    for name, task in CELLS.items():
+        summary = execute_task(task)
+        payload[name] = {"task": asdict(task), "summary": asdict(summary)}
+        print(f"{name}: events={summary.events_processed} "
+              f"ops={summary.total_ops}")
+    with open(GOLDEN_FILE, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {GOLDEN_FILE}")
+
+
+if __name__ == "__main__":
+    main()
