@@ -13,12 +13,24 @@ Observability::
     python -m repro trace fig5 --out t.json    # choose the output file
     python -m repro fig5 --trace t.json        # same, flag form
     python -m repro trace fig5 --metrics       # print per-server metrics
+    python -m repro analyze fig5 --protocol cx    # critical-path breakdown
+    python -m repro analyze fig5 --protocol ofs --json breakdown.json
+    python -m repro analyze fig5 --sample 16 --ring 4096 --flight f.jsonl
 
 A traced run replays the experiment's canonical workload with the
 tracer enabled, writes a Chrome trace-event JSON (open it in Perfetto:
 https://ui.perfetto.dev), optionally a JSONL event dump, and validates
 the protocol invariants from the event stream (exit code 1 if any
 violation is found).
+
+``analyze`` runs the same traced replay and then attributes every
+operation's client-visible latency to protocol phases (execution, WAL
+append, network, lock wait, commit, write-back) by walking its causal
+span DAG — the per-protocol breakdown tables behind the paper's
+"shorter critical path" claim.  ``--sample N`` switches to the
+always-on 1-in-N sampling tracer, ``--ring K`` bounds the store to a
+flight-recorder ring buffer, and ``--flight FILE`` dumps the recorder's
+recent events (always for analyze; on violations or a crash for trace).
 
 Performance::
 
@@ -83,10 +95,14 @@ def _run_traced(args, parser) -> int:
     result = run_traced_replay(
         experiment,
         workload=args.workload,
+        protocol=args.protocol,
         scale=args.scale,
         seed=args.seed,
         trace_file=out,
         jsonl_file=args.jsonl,
+        sample=args.sample,
+        ring=args.ring,
+        flight_file=args.flight,
     )
     elapsed = time.time() - start
     print(result.text)
@@ -102,6 +118,37 @@ def _run_traced(args, parser) -> int:
     return 1 if result.violations else 0
 
 
+def _run_analyze(args, parser) -> int:
+    from repro.experiments.tracing import TRACEABLE, run_analyze
+
+    experiment = args.target or "fig5"
+    if experiment not in TRACEABLE:
+        parser.error(
+            f"no traced replay for {experiment!r}; "
+            f"available: {', '.join(sorted(TRACEABLE))}"
+        )
+    if args.scale is not None and not 0 < args.scale <= 1:
+        parser.error("--scale must be in (0, 1]")
+    start = time.time()
+    result = run_analyze(
+        experiment,
+        protocol=args.protocol,
+        workload=args.workload,
+        scale=args.scale,
+        seed=args.seed,
+        sample=args.sample,
+        ring=args.ring,
+        json_file=args.json,
+        flight_file=args.flight,
+    )
+    elapsed = time.time() - start
+    print(result.text)
+    if args.json:
+        print(f"phase-breakdown JSON written to {args.json}")
+    print(f"[analyze {experiment} regenerated in {elapsed:.1f}s wall]\n")
+    return 1 if result.replay.violations else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -110,12 +157,13 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (table1..table5, fig4..fig9), 'trace <exp>', "
-             "'profile <exp>', 'bench', 'perf-gate', 'all', or 'list'",
+             "'analyze <exp>', 'profile <exp>', 'bench', 'perf-gate', "
+             "'all', or 'list'",
     )
     parser.add_argument(
         "target", nargs="?", default=None,
-        help="experiment to trace or profile (only with the 'trace' "
-             "and 'profile' commands)",
+        help="experiment to trace, analyze, or profile (only with the "
+             "'trace', 'analyze', and 'profile' commands)",
     )
     parser.add_argument("--seed", type=int, default=0,
                         help="master RNG seed (default 0)")
@@ -156,6 +204,17 @@ def main(argv=None) -> int:
     parser.add_argument("--baseline", metavar="FILE", default=None,
                         help="perf-gate: committed baseline to compare "
                              "against (default BENCH_kernel.json)")
+    parser.add_argument("--sample", type=int, default=None, metavar="N",
+                        help="trace/analyze: always-on mode, record a "
+                             "deterministic 1-in-N of operations by op id")
+    parser.add_argument("--ring", type=int, default=None, metavar="K",
+                        help="trace/analyze: bound the tracer to a "
+                             "flight-recorder ring of the last K events")
+    parser.add_argument("--flight", metavar="FILE", default=None,
+                        help="trace/analyze: JSONL dump of the flight "
+                             "recorder's recent events (always written by "
+                             "analyze; trace writes it on invariant "
+                             "violations or a crashed replay)")
     args = parser.parse_args(argv)
 
     if args.experiment == "bench":
@@ -189,6 +248,9 @@ def main(argv=None) -> int:
 
         return run_perf_gate(baseline_path=args.baseline, seed=args.seed)
 
+    if args.experiment == "analyze":
+        return _run_analyze(args, parser)
+
     if args.experiment == "trace" or args.trace or args.metrics:
         return _run_traced(args, parser)
 
@@ -197,7 +259,9 @@ def main(argv=None) -> int:
         print("available experiments:")
         for name in registry:
             print(f"  {name}")
-        print("  trace <exp>  (traced replay: fig5, fig8, table4)")
+        print("  trace <exp>    (traced replay: fig5, fig8, table4)")
+        print("  analyze <exp>  (critical-path phase breakdown, "
+              "--protocol cx|ofs|ofs-batched)")
         return 0
 
     if args.experiment == "all":

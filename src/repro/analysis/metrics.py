@@ -147,6 +147,14 @@ class TimelineSampler:
         if self._proc.is_alive:
             self._proc.interrupt("sampler stopped")
 
+    def __enter__(self) -> "TimelineSampler":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Sampling starts at construction; the with-block only scopes
+        # the stop, so an exception mid-replay still halts the probe.
+        self.stop()
+
     def series(self) -> Tuple[np.ndarray, np.ndarray]:
         if not self.samples:
             return np.empty(0), np.empty(0)

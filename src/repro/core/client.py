@@ -43,8 +43,9 @@ def cx_client_perform(
             "client-op", node.node_id, op_id=op_id, phase=PHASE_CLIENT,
             op_type=plan.op.op_type.value, cross=plan.cross_server,
         )
-        if tracer.enabled else None
+        if tracer.enabled and tracer.sampled(op_id) else None
     )
+    op_sid = op_span.span_id if op_span is not None else None
 
     def send_requests() -> None:
         node.send(
@@ -55,6 +56,7 @@ def cx_client_perform(
                 "op_id": op_id,
                 "other_server": plan.participant,
             },
+            span_id=op_sid,
         )
         if plan.cross_server:
             node.send(
@@ -65,6 +67,7 @@ def cx_client_perform(
                     "op_id": op_id,
                     "other_server": plan.coordinator,
                 },
+                span_id=op_sid,
             )
 
     def receive():
@@ -105,6 +108,7 @@ def cx_client_perform(
                 if tracer.enabled:
                     tracer.event(
                         "all-no", node.node_id, cat="protocol", op_id=op_id,
+                        parent=op_sid,
                     )
                 return OpResult(ok=False, errno=p.get("errno"), conflicted=conflicted)
             latest[p["role"]] = p
@@ -129,12 +133,13 @@ def cx_client_perform(
                 if tracer.enabled:
                     tracer.event(
                         "client-lcom", node.node_id, cat="protocol",
-                        op_id=op_id, ok_coord=ok_c, ok_part=ok_p,
+                        op_id=op_id, parent=op_sid, ok_coord=ok_c, ok_part=ok_p,
                     )
                 node.send(
                     cluster.server_id(plan.coordinator),
                     MessageKind.L_COM,
                     {"op": op_id, "want_all_no": True},
+                    span_id=op_sid,
                 )
     finally:
         if op_span is not None:

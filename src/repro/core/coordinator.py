@@ -152,7 +152,8 @@ class CommitManager:
             if tracer.enabled:
                 p.commit_span = tracer.begin(
                     "commitment", server.node_id, op_id=p.op_id,
-                    phase=PHASE_COMMIT, role=p.role, reason=reason,
+                    phase=PHASE_COMMIT, parent=p.exec_span_id,
+                    role=p.role, reason=reason,
                 )
         self.batches_launched += 1
         m = self._m_batches
@@ -233,6 +234,14 @@ class CommitManager:
         batch_size = (
             role.params.msg_base_size + role.params.msg_per_op_size * len(ops)
         )
+        # Batched messages carry one span context: the first traced
+        # op's commitment span stands in for the whole chunk.
+        batch_sid = None
+        if self.tracer.enabled:
+            for p in ops:
+                if p.commit_span is not None and p.commit_span.span_id is not None:
+                    batch_sid = p.commit_span.span_id
+                    break
 
         # Step 3–4: VOTE, collect the participant's per-op results.
         votes_resp = yield server.request(
@@ -240,6 +249,7 @@ class CommitManager:
             MessageKind.VOTE,
             {"ops": [p.op_id for p in ops]},
             size=batch_size,
+            span_id=batch_sid,
         )
         votes = votes_resp.payload["votes"]
 
@@ -249,6 +259,8 @@ class CommitManager:
         wal = server.wal
         decisions: Dict[OpId, bool] = {}
         appends = []
+        tracer = self.tracer
+        tracer.ambient = batch_sid
         for p in ops:
             vote = votes[p.op_id]
             commit = p.ok and vote["ok"]
@@ -263,6 +275,7 @@ class CommitManager:
                     urgent=True,
                 )
             )
+        tracer.ambient = None
         yield role.sim.all_of(appends)
 
         # Step 5–6: COMMIT-REQ/ABORT-REQ (batched), await the ACK.
@@ -271,16 +284,18 @@ class CommitManager:
             MessageKind.COMMIT_REQ,
             {"decisions": decisions},
             size=batch_size,
+            span_id=batch_sid,
         )
         assert ack.kind is MessageKind.ACK
 
         # Step 7: Complete-Records, then finalize.
-        yield role.sim.all_of(
-            [
-                wal.append(wal.commit_record(p.op_id, _COMPLETE), urgent=True)
-                for p in ops
-            ]
-        )
+        tracer.ambient = batch_sid
+        completes = [
+            wal.append(wal.commit_record(p.op_id, _COMPLETE), urgent=True)
+            for p in ops
+        ]
+        tracer.ambient = None
+        yield role.sim.all_of(completes)
         for p in ops:
             self._finalize(p, decisions[p.op_id])
 
@@ -289,12 +304,16 @@ class CommitManager:
         and pruning only — no peer, no votes."""
         role = self.role
         wal = role.server.wal
-        yield role.sim.all_of(
-            [
+        tracer = self.tracer
+        appends = []
+        for p in ops:
+            sid = p.commit_span.span_id if p.commit_span is not None else None
+            tracer.ambient = sid
+            appends.append(
                 wal.append(wal.commit_record(p.op_id, _COMPLETE), urgent=True)
-                for p in ops
-            ]
-        )
+            )
+        tracer.ambient = None
+        yield role.sim.all_of(appends)
         for p in ops:
             self._finalize(p, p.ok)
 
@@ -312,9 +331,13 @@ class CommitManager:
             m.observe(role.sim.now - pend.enqueued_at)
         tracer = self.tracer
         if tracer.enabled:
+            commit_sid = (
+                pend.commit_span.span_id if pend.commit_span is not None else None
+            )
             tracer.event(
                 "decision", server.node_id, cat="protocol",
-                op_id=pend.op_id, committed=committed, role=pend.role,
+                op_id=pend.op_id, parent=commit_sid,
+                committed=committed, role=pend.role,
             )
         if pend.commit_span is not None:
             pend.commit_span.end(committed=committed)

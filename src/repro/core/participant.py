@@ -98,7 +98,7 @@ class ParticipantHalf:
             if traced and pend.commit_span is None:
                 pend.commit_span = tracer.begin(
                     "commitment", server.node_id, op_id=op_id,
-                    phase=PHASE_COMMIT, role="part",
+                    phase=PHASE_COMMIT, parent=msg.span_id, role="part",
                 )
         m = self._m_votes_answered
         if m is None:
@@ -128,7 +128,7 @@ class ParticipantHalf:
             if tracer.enabled and pend.commit_span is None:
                 pend.commit_span = tracer.begin(
                     "commitment", server.node_id, op_id=op_id,
-                    phase=PHASE_COMMIT, role="part",
+                    phase=PHASE_COMMIT, parent=msg.span_id, role="part",
                 )
         m = self._m_votes_answered
         if m is None:
@@ -236,6 +236,7 @@ class ParticipantHalf:
         decisions: Dict[OpId, bool] = msg.payload["decisions"]
         appends = []
         to_release: List[Tuple[PendingOp, bool]] = []
+        tracer.ambient = msg.span_id
         for op_id, commit in decisions.items():
             pend = role.pending.pop(op_id, None)
             if pend is None:  # pragma: no cover - duplicate decide
@@ -253,7 +254,8 @@ class ParticipantHalf:
             if tracer.enabled:
                 tracer.event(
                     "decision", server.node_id, cat="protocol",
-                    op_id=op_id, committed=commit, role="part",
+                    op_id=op_id, parent=msg.span_id, committed=commit,
+                    role="part",
                 )
             if pend.commit_span is not None:
                 pend.commit_span.end(committed=commit)
@@ -263,6 +265,7 @@ class ParticipantHalf:
                 "errno": pend.result.errno,
             }
             to_release.append((pend, commit))
+        tracer.ambient = None
 
         if appends:
             yield role.sim.all_of(appends)

@@ -109,6 +109,9 @@ class PendingOp:
     #: Open tracing span for the in-flight commitment on this server
     #: (:class:`repro.obs.tracer.Span`; None while no tracer is active).
     commit_span: Any = None
+    #: Span id of this op's execution span here (the causal parent of
+    #: its eventual commitment; None while no tracer is active).
+    exec_span_id: Optional[int] = None
 
     @property
     def ok(self) -> bool:

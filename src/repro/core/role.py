@@ -198,7 +198,8 @@ class CxRole(ServerRole):
             if self.tracer.enabled:
                 self.tracer.event(
                     "conflict", self.server.node_id, cat="protocol",
-                    op_id=op_id, blocked_behind=foreign[-1],
+                    op_id=op_id, parent=msg.span_id,
+                    blocked_behind=foreign[-1],
                 )
             self._blocked_ops.add(op_id)
             msg.payload["conflicted"] = True
@@ -208,7 +209,20 @@ class CxRole(ServerRole):
             return
 
         if subop.is_readonly:
+            tracer = self.tracer
+            read_span = (
+                tracer.begin(
+                    "exec", self.server.node_id, op_id=op_id,
+                    phase=PHASE_EXEC, parent=msg.span_id,
+                    role=subop.role, readonly=True,
+                )
+                if tracer.enabled and tracer.sampled(op_id) else None
+            )
             res = yield from self.execute_readonly(subop)
+            read_sid = None
+            if read_span is not None:
+                read_span.end(ok=res.ok)
+                read_sid = read_span.span_id
             self.server.send(
                 msg.src,
                 MessageKind.YES if res.ok else MessageKind.NO,
@@ -220,6 +234,7 @@ class CxRole(ServerRole):
                     "value": res.value,
                     "conflicted": msg.payload.get("conflicted", False),
                 },
+                span_id=read_sid,
             )
             return
 
@@ -275,12 +290,16 @@ class CxRole(ServerRole):
             self.active.register(op_id, keys)
 
         tracer = self.tracer
+        # One sampling decision for the whole execution path: skipping
+        # the begin()/ambient work wholesale for sampled-out ops is what
+        # keeps the always-on tracer inside the perf-gate budget.
+        traced = tracer.enabled and tracer.sampled(op_id)
         exec_span = (
             tracer.begin(
                 "exec", self.server.node_id, op_id=op_id,
-                phase=PHASE_EXEC, role=subop.role,
+                phase=PHASE_EXEC, parent=msg.span_id, role=subop.role,
             )
-            if tracer.enabled else None
+            if traced else None
         )
         yield self.sim.timeout(self.params.cpu_subop)
         res = self.server.shard.execute(subop, self.sim.now)
@@ -319,16 +338,25 @@ class CxRole(ServerRole):
         self.commit_mgr.adopt_pre_request(pend)
         # Durable Result-Record before the response; this append blocks
         # when the log is full (Fig. 7(a)'s effect).
-        record_span = (
-            tracer.begin(
+        record_span = None
+        if traced:
+            exec_sid = exec_span.span_id if exec_span is not None else None
+            pend.exec_span_id = exec_sid
+            record_span = tracer.begin(
                 "result-record", self.server.node_id, op_id=op_id,
-                phase=PHASE_RECORD, role=subop.role, size=record.size,
+                phase=PHASE_RECORD, parent=exec_sid,
+                role=subop.role, size=record.size,
             )
-            if tracer.enabled else None
-        )
-        yield self.server.wal.append(record)
-        if record_span is not None:
+            # Ambient parent for the WAL's own instants: set and cleared
+            # around the synchronous append() call (the yield waits on
+            # the returned event, after the records are admitted).
+            tracer.ambient = record_span.span_id
+            append_done = self.server.wal.append(record)
+            tracer.ambient = None
+            yield append_done
             record_span.end()
+        else:
+            yield self.server.wal.append(record)
 
         hint_block = ResponseHint(
             hint=pend.hint,
@@ -345,7 +373,10 @@ class CxRole(ServerRole):
         }
         kind = MessageKind.YES if res.ok else MessageKind.NO
         pend.last_response = (kind, payload)
-        self.server.send(msg.src, kind, payload)
+        self.server.send(
+            msg.src, kind, payload,
+            span_id=record_span.span_id if record_span is not None else None,
+        )
 
         # Post-execution hooks: deferred votes and the lazy queue.
         self.participant.fulfill_vote_waiters(op_id)

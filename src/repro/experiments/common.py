@@ -65,7 +65,10 @@ def build_trace_cluster(
     num_servers: int = NUM_SERVERS,
     seed: int = 0,
     trace: bool = False,
+    tracer=None,
 ) -> Cluster:
+    """Canonical-config cluster; ``tracer`` overrides the default full
+    tracer (e.g. a :class:`~repro.obs.tracer.SamplingTracer`)."""
     return Cluster.build(
         num_servers=num_servers,
         num_clients=NUM_CLIENTS,
@@ -74,6 +77,7 @@ def build_trace_cluster(
         procs_per_client=PROCS_PER_CLIENT,
         seed=seed,
         trace=trace,
+        tracer=tracer,
     )
 
 

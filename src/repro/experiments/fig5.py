@@ -49,6 +49,11 @@ def run_fig5(traces=None, num_servers: int = 8, seed: int = 0,
                 "cx_vs_batched": 1 - t["cx"] / t["ofs-batched"],
                 "messages": {k: v.messages for k, v in res.items()},
                 "conflict_ratio": res["cx"].conflict_ratio,
+                "latency": {
+                    k: {"p50": v.latency_p50, "p99": v.latency_p99,
+                        "p999": v.latency_p999}
+                    for k, v in res.items()
+                },
             }
         )
     text = render_table(
@@ -59,5 +64,17 @@ def run_fig5(traces=None, num_servers: int = 8, seed: int = 0,
           f"{r['cx_vs_ofs']:.1%}", f"{r['cx_vs_batched']:.1%}"] for r in rows],
         title=f"Figure 5 — trace replay time, {num_servers} servers "
               "(paper: Cx gain >= 38%, s3d > 50%; batched >= 15%)",
+    )
+
+    def tail(r, system):
+        lat = r["latency"][system]
+        return (f"{lat['p50'] * 1e3:.2f}/{lat['p99'] * 1e3:.2f}/"
+                f"{lat['p999'] * 1e3:.2f}")
+
+    text += "\n\n" + render_table(
+        ["Trace"] + [f"{s} p50/p99/p999 (ms)" for s in FIG5_SYSTEMS],
+        [[r["trace"]] + [tail(r, s) for s in FIG5_SYSTEMS] for r in rows],
+        title="Figure 5 (cont.) — per-op latency tail "
+              "(Cx trims the tail the serialized round trips build)",
     )
     return ExperimentResult("fig5", text, rows)

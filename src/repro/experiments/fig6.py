@@ -79,6 +79,14 @@ def run_fig6(server_counts=(4, 8, 16, 32), workloads=("update", "read"),
                     "ofs-batched": series["ofs-batched"][i],
                     "cx": series["cx"][i],
                     "cx_gain": series["cx"][i] / series["ofs"][i] - 1,
+                    "latency": {
+                        name: {
+                            "p50": summaries[(workload, n, name)].latency_p50,
+                            "p99": summaries[(workload, n, name)].latency_p99,
+                            "p999": summaries[(workload, n, name)].latency_p999,
+                        }
+                        for name in SYSTEMS
+                    },
                 }
             )
         texts.append(
@@ -86,6 +94,24 @@ def run_fig6(server_counts=(4, 8, 16, 32), workloads=("update", "read"),
                 "servers", list(server_counts),
                 {k: [f"{v:.0f}" for v in vals] for k, vals in series.items()},
                 title=f"Figure 6 ({workload}-dominated) — aggregated ops/s",
+            )
+        )
+        texts.append(
+            render_series(
+                "servers", list(server_counts),
+                {
+                    name: [
+                        "{p50:.2f}/{p99:.2f}/{p999:.2f}".format(
+                            p50=summaries[(workload, n, name)].latency_p50 * 1e3,
+                            p99=summaries[(workload, n, name)].latency_p99 * 1e3,
+                            p999=summaries[(workload, n, name)].latency_p999 * 1e3,
+                        )
+                        for n in server_counts
+                    ]
+                    for name in SYSTEMS
+                },
+                title=f"Figure 6 ({workload}-dominated) — "
+                      "op latency p50/p99/p999 (ms)",
             )
         )
     return ExperimentResult("fig6", "\n\n".join(texts), rows)

@@ -1,9 +1,19 @@
-"""Traced replay runs: the ``python -m repro trace <experiment>`` path.
+"""Traced replay runs: the ``python -m repro trace`` / ``analyze`` paths.
 
-Re-runs one experiment's canonical replay configuration with the
-tracer enabled, exports the event stream (Chrome trace-event JSON for
-Perfetto, optionally JSONL), prints per-server metrics, and validates
-the protocol invariants from the trace.
+``trace`` re-runs one experiment's canonical replay configuration with
+the tracer enabled, exports the event stream (Chrome trace-event JSON
+for Perfetto, optionally JSONL), prints per-server metrics, and
+validates the protocol invariants from the trace.
+
+``analyze`` does the same replay and then walks each operation's causal
+span DAG into a critical-path phase breakdown
+(:mod:`repro.obs.critpath`) — the per-protocol "where does the latency
+go" tables.
+
+Both accept ``sample``/``ring`` to run in the always-on low-overhead
+mode (deterministic 1-in-N sampling, bounded flight-recorder buffer);
+when the invariant checker fires or the replay raises, the recorder's
+last events are dumped as JSONL for post-mortem.
 """
 
 from __future__ import annotations
@@ -17,12 +27,14 @@ from repro.experiments.common import (
     build_trace_cluster,
 )
 from repro.obs import (
+    SamplingTracer,
     Tracer,
     Violation,
     check_trace,
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.critpath import CritPathReport, analyze_trace
 from repro.workloads import TRACE_SPECS, TraceWorkload, replay_streams
 
 #: Experiments a traced run knows how to reproduce, mapped to their
@@ -32,6 +44,25 @@ TRACEABLE: Dict[str, Dict[str, str]] = {
     "fig8": {"workload": "home2", "protocol": "cx"},
     "table4": {"workload": "CTH", "protocol": "cx"},
 }
+
+#: Events in a flight-recorder post-mortem dump.
+FLIGHT_DUMP_LAST = 256
+
+
+def _make_tracer(sample: Optional[int], ring: Optional[int]) -> Optional[Tracer]:
+    """None means "let the cluster build its default full tracer"."""
+    if sample is None and ring is None:
+        return None
+    if sample is not None:
+        return SamplingTracer(every=sample, ring=ring)
+    return Tracer(ring=ring)
+
+
+def _flight_dump(tracer: Tracer, path: Optional[str], why: str) -> None:
+    if not path:
+        return
+    n = tracer.dump_jsonl(path, last=FLIGHT_DUMP_LAST)
+    print(f"flight recorder ({why}): last {n} events -> {path}")
 
 
 @dataclass
@@ -72,8 +103,16 @@ def run_traced_replay(
     seed: int = 0,
     trace_file: Optional[str] = None,
     jsonl_file: Optional[str] = None,
+    sample: Optional[int] = None,
+    ring: Optional[int] = None,
+    flight_file: Optional[str] = None,
 ) -> TracedReplay:
-    """Replay one experiment's workload with tracing enabled."""
+    """Replay one experiment's workload with tracing enabled.
+
+    ``sample``/``ring`` switch to the always-on tracer configuration;
+    ``flight_file`` receives a JSONL dump of the recorder's most recent
+    events when the replay raises or the invariant checker fires.
+    """
     spec = TRACEABLE.get(experiment)
     if spec is None:
         raise ValueError(
@@ -86,7 +125,8 @@ def run_traced_replay(
         raise ValueError(f"unknown workload trace {workload!r}")
 
     cluster = build_trace_cluster(
-        protocol, num_servers=num_servers, seed=seed, trace=True
+        protocol, num_servers=num_servers, seed=seed, trace=True,
+        tracer=_make_tracer(sample, ring),
     )
     wl = TraceWorkload(
         TRACE_SPECS[workload],
@@ -94,10 +134,16 @@ def run_traced_replay(
         seed=seed,
     )
     streams = wl.build(cluster, cluster.all_processes())
-    result = replay_streams(cluster, streams)
-
     tracer = cluster.tracer
-    violations = check_trace(tracer)
+    try:
+        result = replay_streams(cluster, streams)
+    except BaseException:
+        _flight_dump(tracer, flight_file, "replay raised")
+        raise
+
+    violations = check_trace(tracer, protocol=protocol)
+    if violations:
+        _flight_dump(tracer, flight_file, f"{len(violations)} violations")
     if trace_file:
         write_chrome_trace(tracer.events, trace_file)
     if jsonl_file:
@@ -114,3 +160,55 @@ def run_traced_replay(
         violations=violations,
         metrics=cluster.metrics_snapshot(),
     )
+
+
+@dataclass
+class AnalyzeResult:
+    """A traced replay plus its critical-path report."""
+
+    replay: TracedReplay
+    report: CritPathReport
+
+    @property
+    def text(self) -> str:
+        return self.replay.text + "\n\n" + self.report.text
+
+
+def run_analyze(
+    experiment: str = "fig5",
+    protocol: Optional[str] = None,
+    workload: Optional[str] = None,
+    scale: Optional[float] = None,
+    num_servers: int = NUM_SERVERS,
+    seed: int = 0,
+    sample: Optional[int] = None,
+    ring: Optional[int] = None,
+    json_file: Optional[str] = None,
+    flight_file: Optional[str] = None,
+) -> AnalyzeResult:
+    """``python -m repro analyze <exp>``: traced replay + critical path.
+
+    Unlike ``trace``, the protocol is a first-class axis here — the
+    whole point is comparing where an OFS op waits versus a Cx op
+    (``--protocol ofs`` / ``--protocol cx``).
+    """
+    replay = run_traced_replay(
+        experiment,
+        workload=workload,
+        protocol=protocol,
+        scale=scale,
+        num_servers=num_servers,
+        seed=seed,
+        sample=sample,
+        ring=ring,
+        flight_file=flight_file,
+    )
+    report = analyze_trace(replay.tracer, protocol=replay.protocol)
+    if json_file:
+        with open(json_file, "w") as fh:
+            fh.write(report.to_json() + "\n")
+    # A flight sample is part of the analyze artifact bundle even on a
+    # clean run (CI uploads it alongside the phase-breakdown JSON).
+    if flight_file and not replay.violations:
+        _flight_dump(replay.tracer, flight_file, "sample")
+    return AnalyzeResult(replay=replay, report=report)

@@ -88,13 +88,20 @@ class Message:
     ``reply_to`` links a response to the msg_id of its request, which is
     how the RPC helper matches them up.
 
+    ``span_id`` is the causal-trace context: the sender stamps it with
+    its current span, the network rewrites it to the delivery hop's own
+    span id, and the receiver parents its spans on whatever arrives —
+    so tracing follows the operation across the wire.  It is ``None``
+    whenever tracing is off and costs one slot.
+
     A plain ``__slots__`` class rather than a dataclass: replays
     allocate one per wire message (tens of thousands per experiment
     cell), and the dataclass ``__init__`` with two ``default_factory``
     fields costs several times a hand-written constructor.
     """
 
-    __slots__ = ("kind", "src", "dst", "payload", "size", "msg_id", "reply_to")
+    __slots__ = ("kind", "src", "dst", "payload", "size", "msg_id", "reply_to",
+                 "span_id")
 
     def __init__(
         self,
@@ -105,6 +112,7 @@ class Message:
         size: int = 200,
         msg_id: Optional[int] = None,
         reply_to: Optional[int] = None,
+        span_id: Optional[int] = None,
     ) -> None:
         self.kind = kind
         self.src = src
@@ -117,10 +125,16 @@ class Message:
             _next_msg_id = msg_id + 1
         self.msg_id = msg_id
         self.reply_to = reply_to
+        self.span_id = span_id
 
     def reply(self, kind: MessageKind, payload: Optional[Dict[str, Any]] = None,
-              size: int = 200) -> "Message":
-        """Build the response message for this request."""
+              size: int = 200, span_id: Optional[int] = None) -> "Message":
+        """Build the response message for this request.
+
+        The reply inherits the request's span id unless the responder
+        passes its own — so a reply chains onto the request's hop even
+        at call sites that know nothing about tracing.
+        """
         return Message(
             kind=kind,
             src=self.dst,
@@ -128,11 +142,13 @@ class Message:
             payload=payload or {},
             size=size,
             reply_to=self.msg_id,
+            span_id=span_id if span_id is not None else self.span_id,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"Message(kind={self.kind!r}, src={self.src!r}, dst={self.dst!r}, "
             f"payload={self.payload!r}, size={self.size!r}, "
-            f"msg_id={self.msg_id!r}, reply_to={self.reply_to!r})"
+            f"msg_id={self.msg_id!r}, reply_to={self.reply_to!r}, "
+            f"span_id={self.span_id!r})"
         )

@@ -116,12 +116,29 @@ class Network:
         if counters is not None:
             counters[0].inc()
             counters[1].inc(msg.size)
+        # Via delay_for (not inlined): tests shim it to skew deliveries.
+        delay = self.delay_for(msg)
         if self.tracer.enabled:
             op_id = msg.payload.get("op_id") or msg.payload.get("op")
-            self.tracer.event(
-                "msg", msg.src, cat="net", op_id=op_id,
-                kind=msg.kind.value, dst=msg.dst, size=msg.size,
-            )
+            # Sampled-out ops skip the hop record *and* its id/args
+            # construction — this guard is what keeps the always-on
+            # tracer inside the perf-gate's overhead budget.
+            if self.tracer.sampled(op_id):
+                # The hop gets a span of its own: parented on the
+                # sender's current span, and handed to the receiver by
+                # rewriting the message's span id — this is what
+                # stitches cross-node chains into one causal DAG.
+                # ``delay`` in the args lets the critical-path analyzer
+                # reconstruct the wire interval without a second record
+                # at delivery time.
+                hop_id = self.tracer.next_span_id()
+                self.tracer.event(
+                    "msg", msg.src, cat="net", op_id=op_id,
+                    span_id=hop_id, parent=msg.span_id,
+                    kind=msg.kind.value, dst=msg.dst, size=msg.size,
+                    delay=delay,
+                )
+                msg.span_id = hop_id
 
         free = self._free_deliveries
         ev = free.pop() if free else _Delivery(self)
@@ -129,8 +146,7 @@ class Network:
         ev.dst = dst
         ev._ok = True
         ev._value = None
-        # Via delay_for (not inlined): tests shim it to skew deliveries.
-        self.sim.schedule(ev, delay=self.delay_for(msg))
+        self.sim.schedule(ev, delay=delay)
 
 
 class Node:
@@ -175,14 +191,20 @@ class Node:
         kind: MessageKind,
         payload: Optional[Dict[str, Any]] = None,
         size: Optional[int] = None,
+        span_id: Optional[int] = None,
     ) -> Message:
-        """Fire-and-forget send; returns the message (for its msg_id)."""
+        """Fire-and-forget send; returns the message (for its msg_id).
+
+        ``span_id`` is the sender's current trace span; the network hop
+        is parented on it (see :meth:`Network.send`).
+        """
         msg = Message(
             kind=kind,
             src=self.node_id,
             dst=dst,
             payload=payload or {},
             size=size if size is not None else self.network.params.msg_base_size,
+            span_id=span_id,
         )
         self.network.send(msg)
         return msg
@@ -193,12 +215,14 @@ class Node:
         kind: MessageKind,
         payload: Optional[Dict[str, Any]] = None,
         size: Optional[int] = None,
+        span_id: Optional[int] = None,
     ) -> Message:
         """Respond to ``request``."""
         msg = request.reply(
             kind,
             payload,
             size=size if size is not None else self.network.params.msg_base_size,
+            span_id=span_id,
         )
         self.network.send(msg)
         return msg
@@ -209,6 +233,7 @@ class Node:
         kind: MessageKind,
         payload: Optional[Dict[str, Any]] = None,
         size: Optional[int] = None,
+        span_id: Optional[int] = None,
     ) -> Event:
         """RPC helper: send a request, get an event for the response.
 
@@ -218,7 +243,7 @@ class Node:
         failure-injection layer resolves by failing pending RPC events
         (see ``fail_pending_rpcs``).
         """
-        msg = self.send(dst, kind, payload, size)
+        msg = self.send(dst, kind, payload, size, span_id=span_id)
         ev = Event(self.sim)
         self._pending_rpcs[msg.msg_id] = ev
         return ev

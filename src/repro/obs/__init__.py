@@ -5,7 +5,11 @@ phases — concurrent execution, Result-Record append, lazy commitment,
 write-back — and makes them visible three ways:
 
 * :class:`Tracer` (:mod:`repro.obs.tracer`) — structured span/event
-  records, virtual-time timestamped, zero overhead when disabled;
+  records with causal span ids, virtual-time timestamped, zero overhead
+  when disabled; :class:`SamplingTracer` for the always-on 1-in-N mode
+  with an optional flight-recorder ring buffer;
+* critical-path analysis (:mod:`repro.obs.critpath`) — per-operation
+  phase attribution over the causal DAG (``python -m repro analyze``);
 * :class:`MetricsRegistry` (:mod:`repro.obs.registry`) — per-server
   counters, gauges, and histograms (batch sizes, commitment latencies,
   WAL syncs, queue depths, conflict/disagreement/disorder counts);
@@ -15,6 +19,7 @@ write-back — and makes them visible three ways:
   protocol safety and liveness from the event stream alone.
 """
 
+from repro.obs.critpath import CritPathReport, OpBreakdown, analyze_trace
 from repro.obs.export import (
     to_chrome_trace,
     to_jsonl,
@@ -31,6 +36,7 @@ from repro.obs.registry import (
     merge_snapshots,
 )
 from repro.obs.tracer import (
+    NULL_SPAN,
     NULL_TRACER,
     PHASE_CLIENT,
     PHASE_COMMIT,
@@ -38,6 +44,7 @@ from repro.obs.tracer import (
     PHASE_RECORD,
     PHASE_WRITEBACK,
     NullTracer,
+    SamplingTracer,
     Span,
     TraceEvent,
     Tracer,
@@ -45,21 +52,26 @@ from repro.obs.tracer import (
 
 __all__ = [
     "Counter",
+    "CritPathReport",
     "Gauge",
     "Histogram",
     "InvariantChecker",
     "MetricsRegistry",
+    "NULL_SPAN",
     "NULL_TRACER",
     "NullTracer",
+    "OpBreakdown",
     "PHASE_CLIENT",
     "PHASE_COMMIT",
     "PHASE_EXEC",
     "PHASE_RECORD",
     "PHASE_WRITEBACK",
+    "SamplingTracer",
     "Span",
     "TraceEvent",
     "Tracer",
     "Violation",
+    "analyze_trace",
     "check_trace",
     "merge_snapshot_dicts",
     "merge_snapshots",

@@ -1,0 +1,301 @@
+"""Critical-path latency attribution over the causal span DAG.
+
+Answers the question the paper's figures only imply: *where does a
+client-visible operation spend its time* under each protocol?  OFS ops
+wait on serialized execution, per-op synchronous write-back, and two
+sequential network round trips; Cx ops overlap execution on both
+servers and push commitment off the client-visible path entirely.  The
+analyzer makes that visible as a per-phase latency decomposition.
+
+**Method.**  For each operation with a ``client-op`` span, the window
+``[t0, t1]`` (request issued → result returned) is partitioned into
+elementary segments at every boundary of the op's traced activity, and
+each segment is attributed to the highest-priority activity covering
+it:
+
+====================  ========================================  ========
+phase                 covering activity                         priority
+====================  ========================================  ========
+``execution``         ``exec`` spans                            60
+``wal-append``        ``result-record`` spans                   50
+``write-back``        ``sync-writeback`` spans                  40
+``commit``            ``commitment`` spans (clipped to window)  30
+``lock-wait``         ``conflict`` instant → next exec start    20
+``network``           ``msg`` instants + their recorded delay   10
+====================  ========================================  ========
+
+Segments covered by nothing are ``client`` before the first request
+leaves the client, else ``queue`` (inbox/dispatch waits and any other
+unattributed time).  Because the segments partition the window exactly,
+**the phase sums reconcile with end-to-end latency by construction** —
+the acceptance test asserts it to float precision.
+
+Commitment work *after* ``t1`` is Cx's off-critical-path fan-out; it is
+reported separately (``off_path_commit``) and deliberately excluded
+from the reconciliation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.tracer import TraceEvent, Tracer
+
+#: Attribution phases, in display (and priority, descending) order.
+PHASES = (
+    "execution",
+    "wal-append",
+    "write-back",
+    "commit",
+    "lock-wait",
+    "network",
+    "client",
+    "queue",
+)
+
+#: (priority, phase) per covering span/activity name.
+_SPAN_PHASE: Dict[str, Tuple[int, str]] = {
+    "exec": (60, "execution"),
+    "result-record": (50, "wal-append"),
+    "sync-writeback": (40, "write-back"),
+    "commitment": (30, "commit"),
+}
+
+_PERCENTILES = (50.0, 99.0, 99.9)
+
+
+@dataclass
+class OpBreakdown:
+    """One operation's client-visible window, fully attributed."""
+
+    op_id: Tuple
+    start: float
+    end: float
+    phases: Dict[str, float] = field(default_factory=dict)
+    #: Commitment time spent after the client got its answer.
+    off_path_commit: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.end - self.start
+
+    @property
+    def attributed(self) -> float:
+        return sum(self.phases.values())
+
+
+def _intervals_for(
+    events: Sequence[TraceEvent], t0: float, t1: float
+) -> Tuple[List[Tuple[int, str, float, float]], Optional[float], float]:
+    """Covering intervals, first-request ts, and off-path commit time."""
+    intervals: List[Tuple[int, str, float, float]] = []
+    first_send: Optional[float] = None
+    off_path = 0.0
+    # Conflict instants wait for the op's next execution on that node.
+    exec_starts: Dict[str, List[float]] = {}
+    for e in events:
+        if e.ph == "X" and e.name == "exec":
+            exec_starts.setdefault(e.node, []).append(e.ts)
+    for starts in exec_starts.values():
+        starts.sort()
+
+    for e in events:
+        if e.ph == "X":
+            entry = _SPAN_PHASE.get(e.name)
+            if entry is None or e.name == "client-op":
+                continue
+            prio, phase = entry
+            s, t = e.ts, e.ts + e.dur
+            if phase == "commit":
+                off_path += max(0.0, t - max(s, t1))
+            intervals.append((prio, phase, s, t))
+        elif e.name == "msg":
+            if first_send is None or e.ts < first_send:
+                first_send = e.ts
+            delay = float(e.args.get("delay", 0.0))
+            intervals.append((10, "network", e.ts, e.ts + delay))
+        elif e.name == "conflict":
+            starts = exec_starts.get(e.node, ())
+            nxt = next((s for s in starts if s >= e.ts), t1)
+            intervals.append((20, "lock-wait", e.ts, nxt))
+    return intervals, first_send, off_path
+
+
+def attribute_op(
+    op_id: Tuple, events: Sequence[TraceEvent]
+) -> Optional[OpBreakdown]:
+    """Attribute one op's client-visible latency; None without a
+    complete ``client-op`` span."""
+    window = next(
+        (e for e in events if e.ph == "X" and e.name == "client-op"), None
+    )
+    if window is None:
+        return None
+    t0, t1 = window.ts, window.ts + window.dur
+    intervals, first_send, off_path = _intervals_for(events, t0, t1)
+    if first_send is None:
+        first_send = t1
+
+    cuts = {t0, t1}
+    for _prio, _phase, s, t in intervals:
+        if t > t0 and s < t1:
+            cuts.add(min(max(s, t0), t1))
+            cuts.add(min(max(t, t0), t1))
+    cuts.add(min(max(first_send, t0), t1))
+    pts = sorted(cuts)
+
+    phases = dict.fromkeys(PHASES, 0.0)
+    for a, b in zip(pts, pts[1:]):
+        if b <= a:
+            continue
+        best: Optional[Tuple[int, str]] = None
+        for prio, phase, s, t in intervals:
+            # Cut points include every interval boundary, so an interval
+            # either covers the whole segment or none of it.
+            if s <= a and t >= b and (best is None or prio > best[0]):
+                best = (prio, phase)
+        if best is not None:
+            phases[best[1]] += b - a
+        elif b <= first_send:
+            phases["client"] += b - a
+        else:
+            phases["queue"] += b - a
+    return OpBreakdown(
+        op_id=op_id, start=t0, end=t1, phases=phases,
+        off_path_commit=off_path,
+    )
+
+
+def _percentile(sorted_vals: List[float], q: float) -> float:
+    """Linear-interpolation percentile over pre-sorted values."""
+    if not sorted_vals:
+        return 0.0
+    if len(sorted_vals) == 1:
+        return sorted_vals[0]
+    rank = (q / 100.0) * (len(sorted_vals) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(sorted_vals) - 1)
+    frac = rank - lo
+    return sorted_vals[lo] * (1.0 - frac) + sorted_vals[hi] * frac
+
+
+def _stats(values: List[float]) -> Dict[str, float]:
+    vs = sorted(values)
+    out = {
+        "mean": sum(vs) / len(vs) if vs else 0.0,
+        "total": sum(vs),
+    }
+    for q in _PERCENTILES:
+        key = "p" + str(q).rstrip("0").rstrip(".").replace(".", "")
+        out[key] = _percentile(vs, q)
+    return out
+
+
+@dataclass
+class CritPathReport:
+    """Aggregated phase breakdown of one traced replay."""
+
+    protocol: str
+    ops: List[OpBreakdown]
+    #: Ops that had trace events but no complete client-op span
+    #: (sampled-out or cut off at run end) — excluded, not hidden.
+    skipped: int = 0
+
+    def phase_stats(self) -> Dict[str, Dict[str, float]]:
+        per_phase: Dict[str, List[float]] = {p: [] for p in PHASES}
+        for op in self.ops:
+            for phase in PHASES:
+                per_phase[phase].append(op.phases.get(phase, 0.0))
+        total_window = sum(op.total for op in self.ops) or 1.0
+        out = {}
+        for phase in PHASES:
+            s = _stats(per_phase[phase])
+            s["share"] = s["total"] / total_window
+            out[phase] = s
+        return out
+
+    def end_to_end_stats(self) -> Dict[str, float]:
+        return _stats([op.total for op in self.ops])
+
+    def off_path_commit_stats(self) -> Dict[str, float]:
+        return _stats([op.off_path_commit for op in self.ops])
+
+    def max_reconciliation_error(self) -> float:
+        """Largest |sum(phases) − end-to-end| over all ops (should be
+        float-epsilon sized: attribution partitions the window)."""
+        return max(
+            (abs(op.attributed - op.total) for op in self.ops), default=0.0
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "protocol": self.protocol,
+            "ops": len(self.ops),
+            "skipped": self.skipped,
+            "end_to_end": self.end_to_end_stats(),
+            "phases": self.phase_stats(),
+            "off_path_commit": self.off_path_commit_stats(),
+            "max_reconciliation_error": self.max_reconciliation_error(),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @property
+    def text(self) -> str:
+        e2e = self.end_to_end_stats()
+        lines = [
+            f"critical-path breakdown: protocol={self.protocol} "
+            f"ops={len(self.ops)}"
+            + (f" (skipped {self.skipped} without client-op span)"
+               if self.skipped else ""),
+            f"  end-to-end latency: mean={e2e['mean'] * 1e3:.3f}ms "
+            f"p50={e2e['p50'] * 1e3:.3f}ms p99={e2e['p99'] * 1e3:.3f}ms "
+            f"p999={e2e['p999'] * 1e3:.3f}ms",
+            "",
+            f"  {'phase':<12} {'share':>7} {'mean(ms)':>9} {'p50(ms)':>9} "
+            f"{'p99(ms)':>9} {'p999(ms)':>9}",
+        ]
+        for phase, s in self.phase_stats().items():
+            if s["total"] == 0.0:
+                continue
+            lines.append(
+                f"  {phase:<12} {s['share'] * 100:>6.1f}% "
+                f"{s['mean'] * 1e3:>9.4f} {s['p50'] * 1e3:>9.4f} "
+                f"{s['p99'] * 1e3:>9.4f} {s['p999'] * 1e3:>9.4f}"
+            )
+        off = self.off_path_commit_stats()
+        if off["total"] > 0.0:
+            lines.append(
+                f"  off-path commit (after reply, not in window): "
+                f"mean={off['mean'] * 1e3:.4f}ms p99={off['p99'] * 1e3:.4f}ms"
+            )
+        err = self.max_reconciliation_error()
+        lines.append(f"  max phase-sum reconciliation error: {err:.3e}s")
+        return "\n".join(lines)
+
+
+def analyze_trace(
+    tracer_or_events, protocol: str = "?"
+) -> CritPathReport:
+    """Walk every operation's causal events into a phase breakdown."""
+    events: Iterable[TraceEvent] = (
+        tracer_or_events.events
+        if isinstance(tracer_or_events, Tracer)
+        else tracer_or_events
+    )
+    by_op: Dict[Tuple, List[TraceEvent]] = {}
+    for e in events:
+        if e.op_id is not None:
+            by_op.setdefault(e.op_id, []).append(e)
+    ops: List[OpBreakdown] = []
+    skipped = 0
+    for op_id, op_events in by_op.items():
+        bd = attribute_op(op_id, op_events)
+        if bd is None:
+            skipped += 1
+        else:
+            ops.append(bd)
+    return CritPathReport(protocol=protocol, ops=ops, skipped=skipped)

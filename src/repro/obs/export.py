@@ -26,11 +26,14 @@ def to_jsonl(events: Iterable[TraceEvent]) -> str:
 
 def write_jsonl(events: Iterable[TraceEvent], path_or_file: Union[str, IO[str]]) -> None:
     text = to_jsonl(events)
+    # An empty trace writes an empty file, not a lone newline (which
+    # JSONL consumers would reject as an invalid blank record).
+    payload = text + "\n" if text else ""
     if hasattr(path_or_file, "write"):
-        path_or_file.write(text + "\n")
+        path_or_file.write(payload)
     else:
         with open(path_or_file, "w") as fh:
-            fh.write(text + "\n")
+            fh.write(payload)
 
 
 def _op_label(op_id) -> str:
@@ -84,6 +87,10 @@ def to_chrome_trace(events: Iterable[TraceEvent]) -> Dict[str, object]:
             args["op_id"] = ":".join(str(x) for x in e.op_id)
         if e.phase is not None:
             args["phase"] = e.phase
+        if e.span_id is not None:
+            args["span_id"] = e.span_id
+        if e.parent_id is not None:
+            args["parent_id"] = e.parent_id
         rec = {
             "name": e.name,
             "cat": e.phase or e.cat,

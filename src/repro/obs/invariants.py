@@ -139,7 +139,10 @@ class InvariantChecker:
             if e.op_id is None:
                 continue
             key = (e.op_id, e.node)
-            if e.name == "exec" and e.args.get("ok"):
+            if (e.name == "exec" and e.args.get("ok")
+                    and not e.args.get("readonly")):
+                # Read-only executions leave no Result-Record and need
+                # no commitment; only update sub-ops must be decided.
                 last_ok_exec[key] = e.ts
             elif e.name == "invalidate":
                 invalidated_at[key] = e.ts
@@ -166,7 +169,18 @@ class InvariantChecker:
         return self.check_safety() + self.check_liveness()
 
 
-def check_trace(tracer: Tracer, liveness: bool = True) -> List[Violation]:
-    """Convenience wrapper used by runners and tests."""
+def check_trace(
+    tracer: Tracer, liveness: bool = True, protocol: str = "cx"
+) -> List[Violation]:
+    """Convenience wrapper used by runners and tests.
+
+    The invariants are the *Cx protocol's* contract (decisions,
+    prune-after-decision, decided write-back); traces from the OFS
+    baselines have executions but no commitment machinery, so checking
+    them against Cx's promises would only produce noise — non-cx
+    protocols get an empty report.
+    """
+    if protocol != "cx":
+        return []
     checker = InvariantChecker.from_tracer(tracer)
     return checker.check() if liveness else checker.check_safety()

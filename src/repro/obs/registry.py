@@ -10,9 +10,8 @@ dicts for reporting; :func:`merge_snapshots` aggregates a cluster.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
-
-import numpy as np
+import math
+from typing import Dict, Iterable, Optional
 
 
 class Counter:
@@ -49,45 +48,92 @@ class Gauge:
 
 
 class Histogram:
-    """A distribution of observed values with summary statistics."""
+    """A distribution summarized in logarithmic buckets.
 
-    __slots__ = ("values",)
+    Always-on metrics cannot afford the keep-every-sample list the
+    first version used (memory grew with run length).  Instead each
+    observation lands in one of :data:`SUBBUCKETS` sub-buckets per
+    power-of-two octave, so memory is bounded by the number of distinct
+    sub-buckets ever touched (a few dozen for any real meter) no matter
+    how many values are observed.  ``count``/``sum``/``min``/``max``
+    stay exact; quantiles are approximated by the containing bucket's
+    midpoint — at most one sub-bucket off (≤ 1/SUBBUCKETS ≈ 12.5%
+    relative error) — and clamped to the exact ``[min, max]``.
+    """
+
+    __slots__ = ("count", "sum", "min", "max", "_buckets")
+
+    #: Sub-buckets per power-of-two octave.
+    SUBBUCKETS = 8
+
+    #: Bucket index shared by every non-positive observation.
+    _NONPOS = -(1 << 30)
 
     def __init__(self) -> None:
-        self.values: List[float] = []
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._buckets: Dict[int, int] = {}
+
+    @classmethod
+    def _index(cls, v: float) -> int:
+        if v <= 0.0:
+            return cls._NONPOS
+        m, e = math.frexp(v)  # v = m * 2**e with m in [0.5, 1)
+        return e * cls.SUBBUCKETS + int((m - 0.5) * 2 * cls.SUBBUCKETS)
+
+    @classmethod
+    def _midpoint(cls, idx: int) -> float:
+        if idx == cls._NONPOS:
+            return 0.0
+        e, sub = divmod(idx, cls.SUBBUCKETS)
+        lo = math.ldexp(1.0 + sub / cls.SUBBUCKETS, e - 1)
+        return lo + math.ldexp(1.0 / cls.SUBBUCKETS, e - 1) / 2.0
 
     def observe(self, v: float) -> None:
-        self.values.append(v)
-
-    @property
-    def count(self) -> int:
-        return len(self.values)
+        v = float(v)
+        self.count += 1
+        self.sum += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+        idx = self._index(v)
+        self._buckets[idx] = self._buckets.get(idx, 0) + 1
 
     @property
     def total(self) -> float:
-        return float(sum(self.values))
+        return self.sum
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.values else 0.0
+        return self.sum / self.count if self.count else 0.0
 
     def percentile(self, q: float) -> float:
-        if not self.values:
+        if not self.count:
             return 0.0
-        return float(np.percentile(self.values, q))
+        target = max(1, math.ceil(self.count * q / 100.0))
+        seen = 0
+        for idx in sorted(self._buckets):
+            seen += self._buckets[idx]
+            if seen >= target:
+                return min(max(self._midpoint(idx), self.min), self.max)
+        return self.max  # pragma: no cover - target <= count always hits
 
     def snapshot(self):
-        if not self.values:
+        if not self.count:
             return {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0,
-                    "max": 0.0, "p50": 0.0, "p99": 0.0}
+                    "max": 0.0, "p50": 0.0, "p99": 0.0, "p999": 0.0}
         return {
             "count": self.count,
-            "sum": self.total,
+            "sum": self.sum,
             "mean": self.mean,
-            "min": float(min(self.values)),
-            "max": float(max(self.values)),
+            "min": self.min,
+            "max": self.max,
             "p50": self.percentile(50),
             "p99": self.percentile(99),
+            "p999": self.percentile(99.9),
         }
 
 
@@ -170,7 +216,8 @@ def merge_snapshot_dicts(snapshots: Iterable[Dict[str, object]]) -> Dict[str, ob
                     prev["value"] += value["value"]
                     prev["max"] = max(prev["max"], value["max"])
             else:  # histogram summary (quantiles are not mergeable)
-                value = {k: v for k, v in value.items() if k not in ("p50", "p99")}
+                value = {k: v for k, v in value.items()
+                         if k not in ("p50", "p99", "p999")}
                 prev = merged.get(name)  # type: ignore[assignment]
                 if prev is None:
                     merged[name] = dict(value)

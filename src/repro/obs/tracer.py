@@ -7,17 +7,35 @@ node, a log prune).  Every record is timestamped with the simulator's
 virtual clock and keyed by node id, operation id, and protocol phase,
 so a single event stream can be sliced per server, per operation, or
 per phase — and exported to Chrome trace-event format for Perfetto
-(:mod:`repro.obs.export`) or fed to the invariant checker
-(:mod:`repro.obs.invariants`).
+(:mod:`repro.obs.export`), fed to the invariant checker
+(:mod:`repro.obs.invariants`), or walked by the critical-path analyzer
+(:mod:`repro.obs.critpath`).
 
-Zero overhead when disabled: the default tracer everywhere is the
-:data:`NULL_TRACER` singleton, whose methods are no-ops and whose
-``enabled`` flag is ``False`` — hot paths guard any argument
-construction behind ``if tracer.enabled``.
+**Causality.**  Every span and every network hop gets a unique
+``span_id``; records carry the ``parent_id`` they were caused by, and
+:class:`~repro.net.message.Message` carries the sender's span id across
+the wire (the network rewrites it to the hop's own id on send), so a
+coordinator → participant → WAL → reply chain forms a per-operation
+causal DAG rather than a flat op_id-keyed event list.
+
+**Overhead tiers.**
+
+* disabled — the default everywhere is the :data:`NULL_TRACER`
+  singleton, whose methods are no-ops and whose ``enabled`` flag is
+  ``False``; hot paths guard any argument construction behind
+  ``if tracer.enabled`` (zero overhead);
+* full — :class:`Tracer` keeps every record (traced replays, tests);
+* always-on — :class:`SamplingTracer` records a deterministic 1-in-N
+  of operations (by op id) and, combined with ``ring=K``, degrades the
+  store to a fixed-size flight-recorder ring buffer holding the last
+  ``K`` records; :meth:`Tracer.dump_jsonl` dumps it when the invariant
+  checker fires or a replay raises.
 """
 
 from __future__ import annotations
 
+import json
+from collections import deque
 from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
@@ -39,12 +57,14 @@ PHASE_WRITEBACK = "write-back"
 PHASE_CLIENT = "client-op"
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceEvent:
     """One structured trace record.
 
     ``ph`` follows the Chrome trace-event phase letters: ``"X"`` is a
     complete span (``ts`` start, ``dur`` length), ``"i"`` an instant.
+    ``span_id``/``parent_id`` place the record in the per-operation
+    causal DAG (``None`` for records outside any chain).
     """
 
     name: str
@@ -56,6 +76,8 @@ class TraceEvent:
     op_id: Optional["OpId"] = None
     phase: Optional[str] = None
     args: Dict[str, Any] = field(default_factory=dict)
+    span_id: Optional[int] = None
+    parent_id: Optional[int] = None
 
     def to_dict(self) -> Dict[str, Any]:
         d = asdict(self)
@@ -67,10 +89,12 @@ class TraceEvent:
 class Span:
     """An open span; :meth:`end` stamps the duration and records it."""
 
-    __slots__ = ("_tracer", "name", "cat", "node", "op_id", "phase", "start", "args", "_done")
+    __slots__ = ("_tracer", "name", "cat", "node", "op_id", "phase", "start",
+                 "args", "span_id", "parent_id", "_done")
 
     def __init__(self, tracer: "Tracer", name: str, cat: str, node: str,
-                 op_id, phase, args: Dict[str, Any]) -> None:
+                 op_id, phase, parent: Optional[int],
+                 args: Dict[str, Any]) -> None:
         self._tracer = tracer
         self.name = name
         self.cat = cat
@@ -79,6 +103,8 @@ class Span:
         self.phase = phase
         self.start = tracer.now()
         self.args = args
+        self.span_id = tracer.next_span_id()
+        self.parent_id = parent
         self._done = False
 
     def end(self, **extra: Any) -> None:
@@ -88,6 +114,7 @@ class Span:
         if extra:
             self.args.update(extra)
         t = self._tracer
+        t._recorded += 1
         t.events.append(
             TraceEvent(
                 name=self.name,
@@ -99,14 +126,22 @@ class Span:
                 op_id=self.op_id,
                 phase=self.phase,
                 args=self.args,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
             )
         )
 
 
 class _NullSpan:
-    """Shared no-op span returned by the null tracer."""
+    """Shared no-op span returned by the null tracer *and* by a
+    sampling tracer for sampled-out operations — the two must stay
+    indistinguishable to instrumented code."""
 
     __slots__ = ()
+
+    #: Present so call sites can read ``span.span_id`` unguarded.
+    span_id = None
+    parent_id = None
 
     def end(self, **extra: Any) -> None:
         pass
@@ -116,13 +151,28 @@ NULL_SPAN = _NullSpan()
 
 
 class Tracer:
-    """Collects :class:`TraceEvent` records against virtual time."""
+    """Collects :class:`TraceEvent` records against virtual time.
+
+    ``ring=K`` bounds the store to a fixed-size flight-recorder ring
+    buffer: only the last ``K`` records are kept (``dropped`` counts
+    evictions), making the tracer safe to leave on for arbitrarily long
+    runs.
+    """
 
     enabled = True
 
-    def __init__(self, sim: Optional["Simulator"] = None) -> None:
+    def __init__(self, sim: Optional["Simulator"] = None,
+                 ring: Optional[int] = None) -> None:
         self._sim = sim
-        self.events: List[TraceEvent] = []
+        self.ring = ring
+        self.events: List[TraceEvent] = (
+            deque(maxlen=ring) if ring else []  # type: ignore[assignment]
+        )
+        self._next_span = 1
+        #: Ambient parent span id for subsystems that cannot take a
+        #: parameter (the WAL's append instants).  Callers set it around
+        #: a synchronous call and clear it after; never across a yield.
+        self.ambient: Optional[int] = None
 
     # -- wiring ----------------------------------------------------------
 
@@ -133,22 +183,50 @@ class Tracer:
     def now(self) -> float:
         return self._sim.now if self._sim is not None else 0.0
 
+    def next_span_id(self) -> int:
+        sid = self._next_span
+        self._next_span = sid + 1
+        return sid
+
+    def sampled(self, op_id) -> bool:
+        """Whether records for ``op_id`` are kept (always, here)."""
+        return True
+
+    @property
+    def dropped(self) -> int:
+        """Records evicted from the ring buffer (0 when unbounded)."""
+        if not self.ring:
+            return 0
+        return max(0, self._recorded - len(self.events))
+
     # -- recording -------------------------------------------------------
 
+    _recorded = 0
+
     def event(self, name: str, node: str, *, cat: str = "op",
-              op_id=None, phase: Optional[str] = None, **args: Any) -> None:
-        """Record an instant event."""
+              op_id=None, phase: Optional[str] = None,
+              parent: Optional[int] = None, span_id: Optional[int] = None,
+              **args: Any) -> None:
+        """Record an instant event.
+
+        ``parent`` links the instant into the causal DAG; ``span_id``
+        gives the instant an identity of its own (the network hop
+        events use both).
+        """
+        self._recorded += 1
         self.events.append(
             TraceEvent(
                 name=name, cat=cat, ph="i", ts=self.now(), node=node,
                 op_id=op_id, phase=phase, args=args,
+                span_id=span_id, parent_id=parent,
             )
         )
 
     def begin(self, name: str, node: str, *, cat: str = "op",
-              op_id=None, phase: Optional[str] = None, **args: Any) -> Span:
+              op_id=None, phase: Optional[str] = None,
+              parent: Optional[int] = None, **args: Any) -> Span:
         """Open a span; the returned handle's ``end()`` records it."""
-        return Span(self, name, cat, node, op_id, phase, args)
+        return Span(self, name, cat, node, op_id, phase, parent, args)
 
     # -- queries ----------------------------------------------------------
 
@@ -174,6 +252,76 @@ class Tracer:
     def clear(self) -> None:
         self.events.clear()
 
+    # -- flight-recorder dump ---------------------------------------------
+
+    def dump_jsonl(self, path_or_file, last: Optional[int] = None) -> int:
+        """Write the most recent ``last`` records (all, by default, which
+        for a ring tracer is the ring's contents) as JSONL; returns the
+        record count written.  This is the flight-recorder dump invoked
+        when the invariant checker fires or a replay raises."""
+        events = list(self.events)
+        if last is not None and last < len(events):
+            events = events[-last:]
+        text = "\n".join(json.dumps(e.to_dict(), sort_keys=True) for e in events)
+        if hasattr(path_or_file, "write"):
+            path_or_file.write(text + ("\n" if text else ""))
+        else:
+            with open(path_or_file, "w") as fh:
+                fh.write(text + ("\n" if text else ""))
+        return len(events)
+
+
+class SamplingTracer(Tracer):
+    """Always-on tracer: deterministic 1-in-N sampling by operation id.
+
+    Whether an operation is traced depends only on its op id — not on
+    timing, protocol, or run order — so the same operations are sampled
+    on every replay of a workload (and on both sides of a cross-server
+    pair, since the op id is shared).  Sampled-out operations get the
+    shared :data:`NULL_SPAN` from :meth:`begin` and their instants are
+    skipped, so a sampled-out span is indistinguishable from the null
+    tracer's.  Records with no op id (crashes, triggers, WAL syncs) are
+    always kept — they are rare and needed for context.
+    """
+
+    def __init__(self, sim: Optional["Simulator"] = None,
+                 every: int = 64, ring: Optional[int] = None) -> None:
+        if every < 1:
+            raise ValueError("sampling rate must be >= 1")
+        super().__init__(sim, ring=ring)
+        self.every = every
+
+    def sampled(self, op_id) -> bool:
+        if op_id is None:
+            return True
+        if self.every == 1:
+            return True
+        # The built-in tuple hash mixes (client, process, sequence)
+        # well — a plain ``seq % N`` would sample the same stride of
+        # every process's stream, which correlates with workload
+        # phases — and is C-speed: this predicate runs on every traced
+        # hot-path record, so it carries the overhead budget.  For int
+        # tuples ``hash`` is unsalted, hence stable across processes
+        # and runs.
+        return (hash(op_id) & 0x7FFFFFFF) % self.every == 0
+
+    def event(self, name: str, node: str, *, cat: str = "op",
+              op_id=None, phase: Optional[str] = None,
+              parent: Optional[int] = None, span_id: Optional[int] = None,
+              **args: Any) -> None:
+        if op_id is not None and not self.sampled(op_id):
+            return
+        super().event(name, node, cat=cat, op_id=op_id, phase=phase,
+                      parent=parent, span_id=span_id, **args)
+
+    def begin(self, name: str, node: str, *, cat: str = "op",
+              op_id=None, phase: Optional[str] = None,
+              parent: Optional[int] = None, **args: Any):
+        if op_id is not None and not self.sampled(op_id):
+            return NULL_SPAN
+        return super().begin(name, node, cat=cat, op_id=op_id, phase=phase,
+                             parent=parent, **args)
+
 
 class NullTracer(Tracer):
     """Disabled tracer: every call is a no-op, ``enabled`` is False.
@@ -188,11 +336,14 @@ class NullTracer(Tracer):
         super().__init__(None)
 
     def event(self, name: str, node: str, *, cat: str = "op",
-              op_id=None, phase: Optional[str] = None, **args: Any) -> None:
+              op_id=None, phase: Optional[str] = None,
+              parent: Optional[int] = None, span_id: Optional[int] = None,
+              **args: Any) -> None:
         pass
 
     def begin(self, name: str, node: str, *, cat: str = "op",
-              op_id=None, phase: Optional[str] = None, **args: Any) -> _NullSpan:
+              op_id=None, phase: Optional[str] = None,
+              parent: Optional[int] = None, **args: Any) -> _NullSpan:
         return NULL_SPAN
 
 

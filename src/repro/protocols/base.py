@@ -92,17 +92,24 @@ class ServerRole(abc.ABC):
         yield self.sim.timeout(self.params.cpu_readonly)
         return self.server.shard.execute(subop, self.sim.now)
 
-    def reply_result(self, msg: Message, res, extra=None) -> None:
-        """RESP carrying ok/errno/value (+ opaque extras)."""
+    def reply_result(self, msg: Message, res, extra=None, span_id=None) -> None:
+        """RESP carrying ok/errno/value (+ opaque extras).
+
+        Without ``span_id`` the reply inherits the request's span
+        context (see :meth:`Message.reply`), so it still chains.
+        """
         payload = {
             "ok": res.ok,
             "errno": res.errno,
             "value": res.value,
             "undo": res.undo,
+            # Echo the request's op id (when the protocol sent one) so
+            # the reply's network hop lands in the op's causal DAG.
+            "op_id": msg.payload.get("op_id"),
         }
         if extra:
             payload.update(extra)
-        self.server.send_reply(msg, MessageKind.RESP, payload)
+        self.server.send_reply(msg, MessageKind.RESP, payload, span_id=span_id)
 
 
 def result_from_resp(msg: Message, conflicted: bool = False) -> OpResult:

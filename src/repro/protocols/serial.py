@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Generator
 from repro.cluster.client import ClientProcess, OpResult
 from repro.fs.ops import OpPlan
 from repro.net.message import Message, MessageKind
+from repro.obs.tracer import PHASE_CLIENT, PHASE_EXEC, PHASE_WRITEBACK
 from repro.protocols.base import Protocol, ServerRole, result_from_resp
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -43,17 +44,52 @@ class SerialRole(ServerRole):
 
     def _handle_req(self, msg: Message) -> Generator:
         subop = msg.payload["subop"]
+        tracer = self.server.tracer
         if subop.is_readonly:
+            read_span = (
+                tracer.begin(
+                    "exec", self.server.node_id, op_id=subop.op_id,
+                    phase=PHASE_EXEC, parent=msg.span_id,
+                    role=subop.role, readonly=True,
+                )
+                if tracer.enabled else None
+            )
             res = yield from self.execute_readonly(subop)
-            self.reply_result(msg, res)
+            read_sid = None
+            if read_span is not None:
+                read_span.end(ok=res.ok)
+                read_sid = read_span.span_id
+            self.reply_result(msg, res, span_id=read_sid)
             return
+        exec_span = (
+            tracer.begin(
+                "exec", self.server.node_id, op_id=subop.op_id,
+                phase=PHASE_EXEC, parent=msg.span_id, role=subop.role,
+            )
+            if tracer.enabled else None
+        )
         yield self.sim.timeout(self.params.cpu_subop)
         res = self.server.shard.execute(subop, self.sim.now)
+        if exec_span is not None:
+            exec_span.end(ok=res.ok, errno=res.errno)
+        last_sid = exec_span.span_id if exec_span is not None else None
         if res.ok:
+            # OFS's per-op synchronous write-back — the client-visible
+            # cost Cx's deferred write-back removes.
+            wb_span = (
+                tracer.begin(
+                    "sync-writeback", self.server.node_id, op_id=subop.op_id,
+                    phase=PHASE_WRITEBACK, parent=last_sid, role=subop.role,
+                )
+                if tracer.enabled else None
+            )
             events = self.server.shard.apply_sync(res.updates)
             if events:
                 yield self.sim.all_of(events)
-        self.reply_result(msg, res)
+            if wb_span is not None:
+                wb_span.end()
+                last_sid = wb_span.span_id
+        self.reply_result(msg, res, span_id=last_sid)
 
     def _handle_clear(self, msg: Message) -> Generator:
         """Withdraw a previously executed sub-op (value-level undo)."""
@@ -77,36 +113,56 @@ class SerialProtocol(Protocol):
         self, cluster: "Cluster", process: ClientProcess, plan: OpPlan
     ) -> Generator:
         node = process.node
-        if not plan.cross_server:
-            resp = yield node.request(
+        op_id = plan.op.op_id
+        tracer = cluster.tracer
+        op_span = (
+            tracer.begin(
+                "client-op", node.node_id, op_id=op_id, phase=PHASE_CLIENT,
+                op_type=plan.op.op_type.value, cross=plan.cross_server,
+            )
+            if tracer.enabled else None
+        )
+        op_sid = op_span.span_id if op_span is not None else None
+        try:
+            if not plan.cross_server:
+                resp = yield node.request(
+                    cluster.server_id(plan.coordinator),
+                    MessageKind.REQ,
+                    {"subop": plan.coord_subop, "op_id": op_id},
+                    span_id=op_sid,
+                )
+                return result_from_resp(resp)
+
+            # 1. participant first
+            resp_p = yield node.request(
+                cluster.server_id(plan.participant),
+                MessageKind.REQ,
+                {"subop": plan.part_subop, "op_id": op_id},
+                span_id=op_sid,
+            )
+            if not resp_p.payload["ok"]:
+                return result_from_resp(resp_p)
+
+            # 2. then the coordinator (chained after the participant's
+            # reply: the serial dependency the span DAG must show)
+            resp_c = yield node.request(
                 cluster.server_id(plan.coordinator),
                 MessageKind.REQ,
-                {"subop": plan.coord_subop},
+                {"subop": plan.coord_subop, "op_id": op_id},
+                span_id=resp_p.span_id if op_sid is not None else None,
             )
-            return result_from_resp(resp)
+            if resp_c.payload["ok"]:
+                return result_from_resp(resp_c)
 
-        # 1. participant first
-        resp_p = yield node.request(
-            cluster.server_id(plan.participant),
-            MessageKind.REQ,
-            {"subop": plan.part_subop},
-        )
-        if not resp_p.payload["ok"]:
-            return result_from_resp(resp_p)
-
-        # 2. then the coordinator
-        resp_c = yield node.request(
-            cluster.server_id(plan.coordinator),
-            MessageKind.REQ,
-            {"subop": plan.coord_subop},
-        )
-        if resp_c.payload["ok"]:
+            # 3. coordinator failed: withdraw the participant's sub-op
+            yield node.request(
+                cluster.server_id(plan.participant),
+                MessageKind.CLEAR,
+                {"undo": resp_p.payload["undo"], "op_id_clear": op_id,
+                 "op_id": op_id},
+                span_id=resp_c.span_id if op_sid is not None else None,
+            )
             return result_from_resp(resp_c)
-
-        # 3. coordinator failed: withdraw the participant's sub-op
-        yield node.request(
-            cluster.server_id(plan.participant),
-            MessageKind.CLEAR,
-            {"undo": resp_p.payload["undo"], "op_id_clear": plan.op.op_id},
-        )
-        return result_from_resp(resp_c)
+        finally:
+            if op_span is not None:
+                op_span.end()

@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Generator, List
 from repro.cluster.client import ClientProcess, OpResult
 from repro.fs.ops import OpPlan
 from repro.net.message import Message, MessageKind
+from repro.obs.tracer import PHASE_EXEC, PHASE_RECORD
 from repro.protocols.base import Protocol, ServerRole
 from repro.protocols.serial import SerialProtocol
 from repro.sim import Interrupt, Process
@@ -88,12 +89,35 @@ class SerialBatchedRole(ServerRole):
 
     def _handle_req(self, msg: Message) -> Generator:
         subop = msg.payload["subop"]
+        tracer = self.server.tracer
         if subop.is_readonly:
+            read_span = (
+                tracer.begin(
+                    "exec", self.server.node_id, op_id=subop.op_id,
+                    phase=PHASE_EXEC, parent=msg.span_id,
+                    role=subop.role, readonly=True,
+                )
+                if tracer.enabled else None
+            )
             res = yield from self.execute_readonly(subop)
-            self.reply_result(msg, res)
+            read_sid = None
+            if read_span is not None:
+                read_span.end(ok=res.ok)
+                read_sid = read_span.span_id
+            self.reply_result(msg, res, span_id=read_sid)
             return
+        exec_span = (
+            tracer.begin(
+                "exec", self.server.node_id, op_id=subop.op_id,
+                phase=PHASE_EXEC, parent=msg.span_id, role=subop.role,
+            )
+            if tracer.enabled else None
+        )
         yield self.sim.timeout(self.params.cpu_subop)
         res = self.server.shard.execute(subop, self.sim.now)
+        if exec_span is not None:
+            exec_span.end(ok=res.ok, errno=res.errno)
+        last_sid = exec_span.span_id if exec_span is not None else None
         if res.ok:
             # Durability via the group-committed log; BDB write-back is
             # deferred to the next batched flush.
@@ -105,9 +129,22 @@ class SerialBatchedRole(ServerRole):
             )
             self._logged_ops.append(subop.op_id)
             self.server.shard.apply_deferred(res.updates)
-            yield self.server.wal.append(record)
+            if tracer.enabled:
+                record_span = tracer.begin(
+                    "result-record", self.server.node_id, op_id=subop.op_id,
+                    phase=PHASE_RECORD, parent=last_sid,
+                    role=subop.role, size=record.size,
+                )
+                tracer.ambient = record_span.span_id
+                append_done = self.server.wal.append(record)
+                tracer.ambient = None
+                yield append_done
+                record_span.end()
+                last_sid = record_span.span_id
+            else:
+                yield self.server.wal.append(record)
             self._check_threshold()
-        self.reply_result(msg, res)
+        self.reply_result(msg, res, span_id=last_sid)
 
     def _handle_clear(self, msg: Message) -> Generator:
         undo = msg.payload["undo"]

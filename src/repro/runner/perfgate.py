@@ -34,6 +34,10 @@ FRESH_FILE = "BENCH_kernel_fresh.json"
 FAIL_RATIO = 0.7
 WARN_RATIO = 0.9
 
+#: Always-on tracing budget: the sampled tracer may cost at most this
+#: fraction of untraced replay wall time (the bench's ``tracing`` arm).
+OVERHEAD_BUDGET = 0.10
+
 
 @dataclass
 class GateRow:
@@ -52,10 +56,19 @@ class GateReport:
     skipped: List[str] = field(default_factory=list)
     fail_ratio: float = FAIL_RATIO
     warn_ratio: float = WARN_RATIO
+    #: Measured sampled-tracing overhead fraction (None if the fresh
+    #: payload predates the bench's tracing arm).
+    tracing_overhead: Optional[float] = None
+    overhead_budget: float = OVERHEAD_BUDGET
+
+    @property
+    def tracing_ok(self) -> bool:
+        return (self.tracing_overhead is None
+                or self.tracing_overhead <= self.overhead_budget)
 
     @property
     def failed(self) -> bool:
-        return any(r.status == "fail" for r in self.rows)
+        return any(r.status == "fail" for r in self.rows) or not self.tracing_ok
 
     @property
     def text(self) -> str:
@@ -71,6 +84,17 @@ class GateReport:
             )
         for key in self.skipped:
             lines.append(f"  [SKIP] {key}: not in both baseline and fresh run")
+        if self.tracing_overhead is None:
+            lines.append(
+                "  [SKIP] tracing overhead: no 'tracing' arm in fresh bench"
+            )
+        else:
+            status = "PASS" if self.tracing_ok else "FAIL"
+            lines.append(
+                f"  [{status:>4}] tracing overhead: "
+                f"{self.tracing_overhead * 100:+.1f}% with sampling "
+                f"(budget {self.overhead_budget * 100:.0f}%)"
+            )
         verdict = "FAIL" if self.failed else "PASS"
         lines.append(f"perf gate verdict: {verdict}")
         return "\n".join(lines)
@@ -97,11 +121,18 @@ def compare(
     fresh: Dict[str, object],
     fail_ratio: float = FAIL_RATIO,
     warn_ratio: float = WARN_RATIO,
+    overhead_budget: float = OVERHEAD_BUDGET,
 ) -> GateReport:
     """Pure comparison of two BENCH_kernel payloads (testable)."""
     base_rates = _rates(baseline)
     fresh_rates = _rates(fresh)
-    report = GateReport(fail_ratio=fail_ratio, warn_ratio=warn_ratio)
+    report = GateReport(fail_ratio=fail_ratio, warn_ratio=warn_ratio,
+                        overhead_budget=overhead_budget)
+    # The overhead budget is self-contained in the fresh run (its two
+    # arms replay identical streams); the baseline is not consulted.
+    tracing = fresh.get("tracing")
+    if isinstance(tracing, dict) and "overhead_frac" in tracing:
+        report.tracing_overhead = float(tracing["overhead_frac"])
     for key in sorted(set(base_rates) | set(fresh_rates)):
         if key not in base_rates or key not in fresh_rates:
             report.skipped.append(key)

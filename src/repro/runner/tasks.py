@@ -84,6 +84,10 @@ class ReplaySummary:
     message_bytes: int = 0
     failed_ops: int = 0
     mean_latency: float = 0.0
+    #: Client-visible latency tail (seconds; 0.0 when no ops ran).
+    latency_p50: float = 0.0
+    latency_p99: float = 0.0
+    latency_p999: float = 0.0
     #: Kernel events the simulator popped to produce this cell.
     events_processed: int = 0
     #: node id -> MetricsRegistry snapshot, plus a merged "cluster" key.
@@ -109,6 +113,9 @@ def _summarize(cluster, result) -> ReplaySummary:
         message_bytes=result.message_bytes,
         failed_ops=result.failed_ops,
         mean_latency=result.mean_latency,
+        latency_p50=cluster.metrics.latency_percentile(50),
+        latency_p99=cluster.metrics.latency_percentile(99),
+        latency_p999=cluster.metrics.latency_percentile(99.9),
         events_processed=cluster.sim.events_processed,
         server_metrics=cluster.metrics_snapshot(),
     )
@@ -175,6 +182,9 @@ def _execute_task(task: ReplayTask) -> ReplaySummary:
             message_bytes=cluster.network.stats.total_bytes,
             failed_ops=m.total_ops - m.completed_ok,
             mean_latency=m.mean_latency(),
+            latency_p50=m.latency_percentile(50),
+            latency_p99=m.latency_percentile(99),
+            latency_p999=m.latency_percentile(99.9),
             events_processed=cluster.sim.events_processed,
             server_metrics=cluster.metrics_snapshot(),
         )

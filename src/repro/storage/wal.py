@@ -164,10 +164,11 @@ class WriteAheadLog:
             self.blocked_appends += 1
             if self.metrics is not None:
                 self.metrics.counter("wal.blocked_appends").inc()
-            if self.tracer.enabled:
+            if self.tracer.enabled and self.tracer.sampled(record.op_id):
                 self.tracer.event(
                     "wal.blocked", self.trace_node, cat="wal",
-                    op_id=record.op_id, rtype=record.rtype,
+                    op_id=record.op_id, parent=self.tracer.ambient,
+                    rtype=record.rtype,
                 )
             self._space_waiters.append((record, done))
             if self.on_full is not None:
@@ -189,10 +190,11 @@ class WriteAheadLog:
                 )
             m[0].inc()
             m[1].set(self.valid_bytes)
-        if self.tracer.enabled:
+        if self.tracer.enabled and self.tracer.sampled(record.op_id):
             self.tracer.event(
                 "wal.append", self.trace_node, cat="wal",
-                op_id=record.op_id, rtype=record.rtype, size=record.size,
+                op_id=record.op_id, parent=self.tracer.ambient,
+                rtype=record.rtype, size=record.size,
             )
         self._unflushed.append(record)
         self._flush_queue.put((record, done))
@@ -227,7 +229,7 @@ class WriteAheadLog:
                     self.metrics.gauge("wal.valid_bytes"),
                 )
             m[1].set(self.valid_bytes)
-        if self.tracer.enabled:
+        if self.tracer.enabled and self.tracer.sampled(op_id):
             self.tracer.event(
                 "wal.prune", self.trace_node, cat="wal",
                 op_id=op_id, freed=freed,
@@ -295,12 +297,19 @@ class WriteAheadLog:
             nbytes = sum(rec.size for rec, _done in batch)
             extent = Extent(self._tail, nbytes)
             self._tail += nbytes
+            # A sync span is kept only when the batch carries a sampled
+            # op's record: sampled operations keep their full causal
+            # story, while a sampling tracer thins the per-flush spans
+            # (the single biggest always-on event source) with the ops.
             sync_span = (
                 self.tracer.begin(
                     "wal.sync", self.trace_node, cat="wal",
                     nbytes=nbytes, nrecords=len(batch),
                 )
-                if self.tracer.enabled else None
+                if self.tracer.enabled and any(
+                    self.tracer.sampled(rec.op_id) for rec, _done in batch
+                )
+                else None
             )
             yield self.disk.submit([extent], write=True)
             self.flushes += 1

@@ -94,6 +94,21 @@ class TestTimelineSampler:
         sampler.stop()  # process already dead: must not raise
         assert len(sampler.samples) == 2
 
+    def test_context_manager_stops_on_exit(self, sim):
+        with TimelineSampler(sim, lambda: 1.0, period=1.0) as sampler:
+            sim.run(until=2.5)
+        sim.run(until=10.0)
+        xs, _ys = sampler.series()
+        assert list(xs) == [0.0, 1.0, 2.0]
+
+    def test_context_manager_stops_on_exception(self, sim):
+        with pytest.raises(RuntimeError):
+            with TimelineSampler(sim, lambda: 1.0, period=1.0) as sampler:
+                sim.run(until=1.5)
+                raise RuntimeError("replay blew up")
+        sim.run(until=10.0)
+        assert len(sampler.samples) == 2  # halted at the raise, not 10s
+
 
 class TestConsistencyChecker:
     def test_clean_cluster_no_violations(self):

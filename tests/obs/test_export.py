@@ -94,3 +94,26 @@ class TestChromeTrace:
         write_chrome_trace(sample_tracer().events, str(path))
         doc = json.loads(path.read_text())
         assert doc["traceEvents"]
+
+
+class TestEmptyTrace:
+    """Exporters must produce valid output for a trace with no events
+    (a sampled-out run, or a replay that did no work)."""
+
+    def test_jsonl_empty(self):
+        assert to_jsonl([]) == ""
+        buf = io.StringIO()
+        write_jsonl([], buf)
+        for line in buf.getvalue().splitlines():
+            json.loads(line)  # nothing but valid lines (i.e. none)
+
+    def test_chrome_empty(self):
+        doc = to_chrome_trace([])
+        assert doc["traceEvents"] == []
+        json.dumps(doc)  # serializable as-is
+
+    def test_write_chrome_empty_file(self, tmp_path):
+        path = tmp_path / "empty.json"
+        write_chrome_trace([], str(path))
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"] == []

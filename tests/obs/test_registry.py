@@ -27,7 +27,39 @@ class TestPrimitives:
         assert h.count == 4
         assert h.total == pytest.approx(16.0)
         assert h.mean == pytest.approx(4.0)
-        assert h.percentile(50) == pytest.approx(2.5)
+        # Quantiles are bucket approximations: the p50 must land in the
+        # sub-bucket containing the rank-2 sample (2.0 -> [2.0, 2.25)).
+        assert 2.0 <= h.percentile(50) < 2.25
+        assert 10.0 <= h.percentile(99) <= 10.0 * (1 + 1 / h.SUBBUCKETS)
+
+    def test_histogram_quantiles_clamped_to_observed_range(self):
+        h = MetricsRegistry("mds0").histogram("h")
+        h.observe(64.0)
+        # One sample: every quantile is exactly that sample, not the
+        # bucket midpoint.
+        assert h.percentile(50) == 64.0
+        assert h.percentile(99.9) == 64.0
+        assert h.min == 64.0 and h.max == 64.0
+
+    def test_histogram_memory_is_bounded(self):
+        h = MetricsRegistry("mds0").histogram("h")
+        for i in range(10_000):
+            h.observe(1e-6 * (i + 1))
+        assert h.count == 10_000
+        # 10k distinct values over ~14 octaves collapse into a bounded
+        # set of sub-buckets (vs. the old keep-every-sample list).
+        assert len(h._buckets) <= 14 * h.SUBBUCKETS
+        # Quantile accuracy stays within one sub-bucket of exact.
+        assert h.percentile(50) == pytest.approx(5e-3, rel=1 / h.SUBBUCKETS)
+        assert h.percentile(99.9) == pytest.approx(1e-2, rel=1 / h.SUBBUCKETS)
+
+    def test_histogram_nonpositive_values(self):
+        h = MetricsRegistry("mds0").histogram("h")
+        for v in (0.0, 0.0, 5.0):
+            h.observe(v)
+        assert h.min == 0.0 and h.max == 5.0
+        assert h.percentile(50) == 0.0
+        assert h.sum == pytest.approx(5.0)
 
     def test_accessors_get_or_create(self):
         reg = MetricsRegistry("mds0")
@@ -47,6 +79,7 @@ class TestSnapshots:
         assert snap["wal.valid_bytes"] == {"value": 128, "max": 128}
         assert snap["wal.sync_bytes"]["count"] == 1
         assert snap["wal.sync_bytes"]["p50"] == pytest.approx(64.0)
+        assert snap["wal.sync_bytes"]["p999"] == pytest.approx(64.0)
 
     def test_empty_histogram_snapshot(self):
         snap = MetricsRegistry("x").histogram("h").snapshot()
@@ -76,7 +109,7 @@ class TestMerge:
         assert lat["mean"] == pytest.approx(2.0)
         assert lat["min"] == 1.0 and lat["max"] == 3.0
         # quantiles are not mergeable across servers and must be dropped
-        assert "p50" not in lat and "p99" not in lat
+        assert "p50" not in lat and "p99" not in lat and "p999" not in lat
 
     def test_merge_gauges_max_of_high_water_marks(self):
         a, b = MetricsRegistry("mds0"), MetricsRegistry("mds1")

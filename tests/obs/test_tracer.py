@@ -1,10 +1,15 @@
-"""Unit tests for the structured tracer (spans, events, null tracer)."""
+"""Unit tests for the structured tracer (spans, events, null tracer,
+sampling, and the flight-recorder ring buffer)."""
+
+import json
 
 from repro.obs import (
+    NULL_SPAN,
     NULL_TRACER,
     PHASE_COMMIT,
     PHASE_EXEC,
     NullTracer,
+    SamplingTracer,
     Tracer,
 )
 
@@ -88,3 +93,95 @@ class TestNullTracer:
     def test_singleton_span_shared(self):
         t = NullTracer()
         assert t.begin("a", "n") is t.begin("b", "m")
+
+
+class TestSamplingTracer:
+    def test_deterministic_and_roughly_one_in_n(self):
+        t = SamplingTracer(Clock(), every=8)
+        ids = [(c, p, s) for c in range(4) for p in range(4)
+               for s in range(64)]
+        kept = [i for i in ids if t.sampled(i)]
+        # Deterministic: a second tracer agrees exactly.
+        t2 = SamplingTracer(Clock(), every=8)
+        assert kept == [i for i in ids if t2.sampled(i)]
+        # Roughly 1-in-8 of 1024 ids (hash-mix, not exact).
+        assert 64 <= len(kept) <= 192
+
+    def test_every_one_keeps_all(self):
+        t = SamplingTracer(Clock(), every=1)
+        assert all(t.sampled((0, 0, s)) for s in range(32))
+
+    def test_unsampled_events_skipped_and_none_op_kept(self):
+        t = SamplingTracer(Clock(), every=2)
+        dropped = next(
+            (c, p, s) for c in range(4) for p in range(4) for s in range(64)
+            if not t.sampled((c, p, s))
+        )
+        t.event("exec", "mds0", op_id=dropped)
+        t.event("server.crash", "mds0")  # no op id: always recorded
+        assert [e.name for e in t.events] == ["server.crash"]
+
+    def test_sampled_out_span_matches_null_tracer_span(self):
+        """Instrumented code must not be able to tell a sampled-out span
+        from the null tracer's: same object, same no-op API."""
+        t = SamplingTracer(Clock(), every=2)
+        dropped = next(
+            (c, p, s) for c in range(4) for p in range(4) for s in range(64)
+            if not t.sampled((c, p, s))
+        )
+        span = t.begin("exec", "mds0", op_id=dropped)
+        null_span = NullTracer().begin("exec", "mds0")
+        assert span is NULL_SPAN
+        assert span is null_span
+        assert span.span_id is None and span.parent_id is None
+        span.end(ok=True)  # no-op, records nothing
+        assert t.events == []
+
+    def test_sampled_in_span_records_normally(self):
+        t = SamplingTracer(Clock(), every=2)
+        kept = next(
+            (c, p, s) for c in range(4) for p in range(4) for s in range(64)
+            if t.sampled((c, p, s))
+        )
+        span = t.begin("exec", "mds0", op_id=kept)
+        assert span is not NULL_SPAN
+        span.end(ok=True)
+        assert len(t.events) == 1
+        assert t.events[0].span_id == span.span_id
+
+
+class TestFlightRecorder:
+    def test_ring_keeps_last_k_and_counts_dropped(self):
+        t = Tracer(Clock(), ring=4)
+        for i in range(10):
+            t.event(f"e{i}", "mds0")
+        assert [e.name for e in t.events] == ["e6", "e7", "e8", "e9"]
+        assert t.dropped == 6
+
+    def test_unbounded_tracer_drops_nothing(self):
+        t = Tracer(Clock())
+        for i in range(10):
+            t.event(f"e{i}", "mds0")
+        assert t.dropped == 0
+
+    def test_spans_count_toward_dropped(self):
+        t = Tracer(Clock(), ring=2)
+        for _ in range(5):
+            t.begin("exec", "mds0").end()
+        assert len(t.events) == 2
+        assert t.dropped == 3
+
+    def test_dump_jsonl_last_k(self, tmp_path):
+        t = Tracer(Clock(), ring=8)
+        for i in range(8):
+            t.event(f"e{i}", "mds0")
+        path = tmp_path / "flight.jsonl"
+        n = t.dump_jsonl(str(path), last=3)
+        assert n == 3
+        lines = path.read_text().strip().splitlines()
+        assert [json.loads(ln)["name"] for ln in lines] == ["e5", "e6", "e7"]
+
+    def test_dump_jsonl_empty(self, tmp_path):
+        path = tmp_path / "flight.jsonl"
+        assert Tracer(Clock()).dump_jsonl(str(path)) == 0
+        assert path.read_text() == ""

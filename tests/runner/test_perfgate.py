@@ -46,6 +46,38 @@ def test_compare_skips_unmatched_keys():
     assert not report.failed
 
 
+def test_compare_tracing_overhead_within_budget():
+    base = _payload(100_000.0, {"cx": 100_000.0})
+    fresh = _payload(100_000.0, {"cx": 100_000.0})
+    fresh["tracing"] = {"overhead_frac": 0.06}
+    report = compare(base, fresh)
+    assert report.tracing_overhead == 0.06
+    assert report.tracing_ok
+    assert not report.failed
+    assert "tracing overhead: +6.0%" in report.text
+
+
+def test_compare_tracing_overhead_over_budget_fails():
+    base = _payload(100_000.0, {"cx": 100_000.0})
+    fresh = _payload(100_000.0, {"cx": 100_000.0})
+    fresh["tracing"] = {"overhead_frac": 0.17}
+    report = compare(base, fresh)
+    # Every throughput row passes, but the always-on budget does not.
+    assert all(r.status == "pass" for r in report.rows)
+    assert not report.tracing_ok
+    assert report.failed
+    assert "FAIL" in report.text
+
+
+def test_compare_without_tracing_arm_skips_budget():
+    base = _payload(100_000.0, {"cx": 100_000.0})
+    fresh = _payload(100_000.0, {"cx": 100_000.0})
+    report = compare(base, fresh)
+    assert report.tracing_overhead is None
+    assert not report.failed
+    assert "no 'tracing' arm" in report.text
+
+
 def test_run_perf_gate_missing_baseline(tmp_path):
     code = run_perf_gate(
         baseline_path=str(tmp_path / "nope.json"),
