@@ -193,6 +193,10 @@ def main(argv=None) -> int:
                              "(CI smoke configuration)")
     parser.add_argument("--out-dir", metavar="DIR", default=".",
                         help="bench: directory for BENCH_*.json (default .)")
+    parser.add_argument("--rounds", type=int, default=3, metavar="N",
+                        help="bench/perf-gate: repeat each kernel cell N "
+                             "times and record the best wall time "
+                             "(default 3)")
     parser.add_argument("--protocol", default=None,
                         help="profile: protocol override for the "
                              "profiled replay cell")
@@ -220,8 +224,10 @@ def main(argv=None) -> int:
     if args.experiment == "bench":
         from repro.runner.bench import run_bench
 
+        if args.rounds < 1:
+            parser.error("--rounds must be >= 1")
         run_bench(jobs=args.jobs, quick=args.quick, seed=args.seed,
-                  out_dir=args.out_dir)
+                  out_dir=args.out_dir, rounds=args.rounds)
         return 0
 
     if args.experiment == "profile":
@@ -246,7 +252,10 @@ def main(argv=None) -> int:
     if args.experiment == "perf-gate":
         from repro.runner.perfgate import run_perf_gate
 
-        return run_perf_gate(baseline_path=args.baseline, seed=args.seed)
+        if args.rounds < 1:
+            parser.error("--rounds must be >= 1")
+        return run_perf_gate(baseline_path=args.baseline, seed=args.seed,
+                             rounds=args.rounds)
 
     if args.experiment == "analyze":
         return _run_analyze(args, parser)

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -12,20 +11,40 @@ from repro.sim import Simulator
 from repro.storage.wal import OpId
 
 
-@dataclass
 class OpRecord:
-    """One completed client operation."""
+    """One completed client operation (``__slots__``: one per op)."""
 
-    op_id: OpId
-    op_type: OpType
-    cross_server: bool
-    ok: bool
-    errno: Optional[str]
-    start: float
-    end: float
-    #: True when the operation conflicted with a pending operation
-    #: (blocked behind an immediate commitment) — drives Table II.
-    conflicted: bool = False
+    __slots__ = ("op_id", "op_type", "cross_server", "ok", "errno",
+                 "start", "end", "conflicted")
+
+    def __init__(
+        self,
+        op_id: OpId,
+        op_type: OpType,
+        cross_server: bool,
+        ok: bool,
+        errno: Optional[str],
+        start: float,
+        end: float,
+        conflicted: bool = False,
+    ) -> None:
+        self.op_id = op_id
+        self.op_type = op_type
+        self.cross_server = cross_server
+        self.ok = ok
+        self.errno = errno
+        self.start = start
+        self.end = end
+        #: True when the operation conflicted with a pending operation
+        #: (blocked behind an immediate commitment) — drives Table II.
+        self.conflicted = conflicted
+
+    def __repr__(self) -> str:
+        return (
+            f"OpRecord(op_id={self.op_id!r}, op_type={self.op_type!r}, "
+            f"ok={self.ok!r}, errno={self.errno!r}, "
+            f"conflicted={self.conflicted!r})"
+        )
 
     @property
     def latency(self) -> float:

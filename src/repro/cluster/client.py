@@ -50,14 +50,24 @@ class ClientNode(Node):
         super().__init__(sim, network, f"client{client_id}")
         self.client_id = client_id
         self._op_channels: Dict[OpId, Store] = {}
+        #: Recycled per-operation channels: a process runs one op at a
+        #: time, so a handful of stores serve the whole replay.
+        self._free_channels: list = []
 
     def register_op(self, op_id: OpId) -> Store:
-        ch = Store(self.sim)
+        free = self._free_channels
+        ch = free.pop() if free else Store(self.sim)
         self._op_channels[op_id] = ch
         return ch
 
     def unregister_op(self, op_id: OpId) -> None:
-        self._op_channels.pop(op_id, None)
+        ch = self._op_channels.pop(op_id, None)
+        if ch is not None and not ch._closed and not ch._getters:
+            # Safe to recycle only when nothing is parked on it: no
+            # waiter to misdeliver to, and any leftover items (a
+            # superseded duplicate response) are stale by definition.
+            ch._items.clear()
+            self._free_channels.append(ch)
 
     def deliver(self, msg: Message) -> None:
         if self.crashed:
@@ -94,19 +104,21 @@ class ClientProcess:
 
         Returns the :class:`OpResult`; also records metrics.
         """
-        start = self.cluster.sim.now
-        plan = self.cluster.plan(op)
-        yield self.cluster.sim.timeout(self.cluster.params.cpu_client_op)
+        cluster = self.cluster
+        sim = cluster.sim
+        start = sim.now
+        plan = cluster.plan(op)
+        yield sim.timeout_h(cluster.params.cpu_client_op)
         if plan.is_rename:
             from repro.protocols.base import rename_client_perform
 
             result: OpResult = yield from rename_client_perform(
-                self.cluster, self, plan
+                cluster, self, plan
             )
         else:
-            result = yield from self.cluster.protocol.client_perform(
-                self.cluster, self, plan
+            result = yield from cluster.protocol.client_perform(
+                cluster, self, plan
             )
         self.ops_done += 1
-        self.cluster.metrics.record_op(op, plan, result, start, self.cluster.sim.now)
+        cluster.metrics.record_op(op, plan, result, start, sim.now)
         return result

@@ -73,9 +73,8 @@ class _HandlerSlot(Event):
         "msg",
         "_gen",
         "_target",
-        "_init",
-        "_init_cbs",
         "_own_cbs",
+        "_start_cb",
         "_resume_cb",
         "_cancelled",
     )
@@ -85,15 +84,14 @@ class _HandlerSlot(Event):
         self.server = server
         self.msg: Optional[Message] = None
         self._gen = None
-        self._target: Optional[Event] = None
+        self._target: Optional[Any] = None
         self._cancelled = False
-        self._init = Event(server.sim)
-        # Persistent callback lists, reassigned on every arm(): the
+        # Persistent callback list, reassigned on every arm(): the
         # kernel clears `callbacks` to None when it processes an event,
-        # but the list objects survive on the slot.
-        self._init_cbs = [self._start]
+        # but the list object survives on the slot.
         self._own_cbs = [self._on_processed]
         # Bound once: a fresh bound method per yield is measurable.
+        self._start_cb = self._start
         self._resume_cb = self._resume
 
     def arm(self, msg: Message) -> None:
@@ -107,11 +105,9 @@ class _HandlerSlot(Event):
         self._exc = None
         self._ok = None
         self._defused = False
-        init = self._init
-        init.callbacks = self._init_cbs
-        init._ok = True
-        init._value = None
-        self.sim.schedule(init, priority=PRIORITY_URGENT)
+        # Bootstrap via an anonymous urgent handle (the handle analogue
+        # of the old pristine-init Event; same seq burn, same ordering).
+        self.sim.init_h(self._start_cb)
 
     @property
     def is_alive(self) -> bool:
@@ -132,7 +128,7 @@ class _HandlerSlot(Event):
 
     # -- internals ---------------------------------------------------------
 
-    def _start(self, init: Event) -> None:
+    def _start(self, _init: int) -> None:
         """Bootstrap callback: run the handler at the dispatch instant."""
         if self._cancelled:
             return
@@ -154,17 +150,25 @@ class _HandlerSlot(Event):
                 self.fail(exc)
                 return
             self._gen = role.handle(msg)  # type: ignore[union-attr]
-        # The bootstrap event carries (_ok=True, _value=None), exactly
-        # what the first generator resume needs.
-        self._resume(init)
+        # The bootstrap handle carries (H_OK, value=None), exactly what
+        # the first generator resume needs.
+        self._resume(_init)
 
-    def _resume(self, event: Event) -> None:
+    def _resume(self, event: Any) -> None:
         """Advance the handler generator with the outcome of ``event``."""
         self._target = None
         gen = self._gen
+        sim = self.sim
         while True:
             try:
-                if event._ok:
+                if type(event) is int:
+                    st = sim._ast[event]
+                    if st & 2:  # H_FAIL
+                        sim._ast[event] = st | 4  # the throw is the handling
+                        target = gen.throw(sim._aval[event])
+                    else:
+                        target = gen.send(sim._aval[event])
+                elif event._ok:
                     target = gen.send(event._value)
                 else:
                     event._defused = True
@@ -177,6 +181,13 @@ class _HandlerSlot(Event):
                 return
             except BaseException as exc:
                 self.fail(exc)
+                return
+
+            if type(target) is int:
+                # Anonymous handle: single-waiter, never already
+                # processed (see Process._resume).
+                sim._acb[target] = self._resume_cb
+                self._target = target
                 return
 
             if not isinstance(target, Event):
@@ -208,11 +219,16 @@ class _HandlerSlot(Event):
             # Interrupted before the bootstrap ran: nothing to tear down.
             self.succeed(None)
             return
-        if self._target is not None and self._target.callbacks is not None:
-            try:
-                self._target.callbacks.remove(self._resume_cb)
-            except ValueError:  # pragma: no cover - defensive
-                pass
+        target = self._target
+        if target is not None:
+            if type(target) is int:
+                if self.sim._acb[target] is self._resume_cb:
+                    self.sim._acb[target] = None
+            elif target.callbacks is not None:
+                try:
+                    target.callbacks.remove(self._resume_cb)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
         self._target = None
         self._resume(event)
 
@@ -263,7 +279,6 @@ class MetadataServer(Node):
         self.wal.tracer = self.tracer
         self.wal.metrics = self.metrics
         self.wal.trace_node = self.node_id
-        self.shard = NamespaceShard(self.kv, index)
         self.role: Optional["ServerRole"] = None
         #: True while the cluster is in the recovery state — client
         #: requests are buffered, not served (paper §III.D: "the whole
@@ -274,6 +289,18 @@ class MetadataServer(Node):
         self._slot_pool: list[_HandlerSlot] = []
         self._loop: Optional[Process] = None
         self.requests_served = 0
+
+    def __getattr__(self, name: str):
+        # The namespace shard is built on first touch: it is pure (no
+        # simulation events), so laziness cannot perturb schedules, and
+        # caching the result as a plain instance attribute keeps every
+        # later ``server.shard`` access a zero-cost attribute load.
+        if name == "shard":
+            shard = self.shard = NamespaceShard(self.kv, self.index)
+            return shard
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
 
     # -- wiring ------------------------------------------------------------
 
@@ -295,21 +322,34 @@ class MetadataServer(Node):
     # -- main loop -----------------------------------------------------------
 
     def _main_loop(self):
+        # Everything loop-invariant is hoisted: this generator resumes
+        # twice per served message, and the attribute chains add up.
+        inbox_get_h = self.inbox.get_h
+        timeout_h = self.sim.timeout_h
+        cpu_dispatch = self.params.cpu_dispatch
+        ping = MessageKind.PING
+        req = MessageKind.REQ
+        pool = self._slot_pool
+        handlers = self._handlers
         while True:
             try:
-                msg = yield self.inbox.get()
+                msg = yield inbox_get_h()
             except ResourceClosed:
                 return  # crashed; reboot() starts a fresh loop
-            if msg.kind is MessageKind.PING:
+            kind = msg.kind
+            if kind is ping:
                 # Liveness is independent of service: answer heartbeats
                 # even while quiesced.
                 self.send_reply(msg, MessageKind.PONG, {})
                 continue
-            if self.quiesced and msg.kind is MessageKind.REQ:
+            if self.quiesced and kind is req:
                 self._quiesce_buffer.append(msg)
                 continue
-            yield self.sim.timeout(self.params.cpu_dispatch)
-            self.spawn_handler(msg)
+            yield timeout_h(cpu_dispatch)
+            # spawn_handler(), inlined on the per-message path.
+            slot = pool.pop() if pool else _HandlerSlot(self)
+            slot.arm(msg)
+            handlers.add(slot)
 
     def spawn_handler(self, msg: Message) -> _HandlerSlot:
         """Run the role's handler for ``msg`` as an independent activity."""

@@ -35,7 +35,7 @@ def cx_client_perform(
     node = process.node
     sim = cluster.sim
     op_id = plan.op.op_id
-    retry_timeout = getattr(cluster.params, "client_retry_timeout", None)
+    retry_timeout = cluster.params.client_retry_timeout
     channel = node.register_op(op_id)
     tracer = cluster.tracer
     op_span = (
@@ -72,11 +72,12 @@ def cx_client_perform(
 
     def receive():
         """Get the next response, resending requests on timeout."""
+        if retry_timeout is None:
+            # Hot path: a plain anonymous-handle get (no retry arming).
+            msg = yield channel.get_h()
+            return msg
         pending_get = channel.get()
         while True:
-            if retry_timeout is None:
-                msg = yield pending_get
-                return msg
             winner, value = yield sim.any_of(
                 [pending_get, sim.timeout(retry_timeout)]
             )
@@ -88,7 +89,12 @@ def cx_client_perform(
         send_requests()
 
         if not plan.cross_server:
-            msg: Message = yield from receive()
+            # No-retry hot path inlined: ``yield from receive()`` costs
+            # a generator object and frame per response.
+            if retry_timeout is None:
+                msg: Message = yield channel.get_h()
+            else:
+                msg = yield from receive()
             p = msg.payload
             return OpResult(
                 ok=bool(p.get("ok")),
@@ -101,7 +107,10 @@ def cx_client_perform(
         conflicted = False
         lcom_sent = False
         while True:
-            msg = yield from receive()
+            if retry_timeout is None:
+                msg = yield channel.get_h()
+            else:
+                msg = yield from receive()
             p = msg.payload
             if msg.kind is MessageKind.ALL_NO:
                 # Every successful execution was aborted (step 7b).

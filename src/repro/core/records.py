@@ -15,7 +15,6 @@ Three record families, each tagged with the operation id that owns it:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from repro.fs.namespace import ExecResult
@@ -66,52 +65,90 @@ def make_result_record(
     )
 
 
-@dataclass
 class PendingOp:
-    """One executed-but-uncommitted operation on one server."""
+    """One executed-but-uncommitted operation on one server.
 
-    op_id: OpId
-    subop: SubOp
-    #: "coord" (we own the dirent / drive commitment), "part", or
-    #: "single" (single-server operation: local commitment only).
-    role: str
-    #: The peer server index (participant for coord-role, coordinator
-    #: for part-role, None for single).
-    other_server: Optional[int]
-    result: ExecResult
-    record: LogRecord
-    #: Conflict keys registered in the active-object table.
-    keys: List[Any] = field(default_factory=list)
-    state: PendingState = PendingState.EXECUTED
-    #: Hint attached to the execution response ([null] or [op_id']).
-    hint: Optional[OpId] = None
-    #: The original client REQ (kept so a re-queued/invalidated sub-op
-    #: can be re-dispatched and re-answered).
-    req_msg: Optional[Message] = None
-    #: Node id of a client waiting for ALL-NO after an L-COM.
-    all_no_dst: Optional[str] = None
-    #: The last response payload sent for this op (resent on duplicate
-    #: REQs after a client-side retry).
-    last_response: Optional[Dict[str, Any]] = None
-    #: Events to succeed when this op's commitment completes.
-    waiters: List[Any] = field(default_factory=list)
-    #: Participant-role only: an L-COM for this op was already sent to
-    #: the coordinator (avoid spamming on repeated conflicts).
-    lcom_sent: bool = False
-    #: An immediate commitment was requested before this op executed
-    #: here (pre-request); honored as soon as it is enqueued.
-    immediate_requested: bool = False
-    #: Coordinator-role only: the participant's errno from its vote.
-    vote_errno: Optional[str] = None
-    #: Virtual time this op entered the lazy queue (feeds the
-    #: commitment-latency histogram).
-    enqueued_at: Optional[float] = None
-    #: Open tracing span for the in-flight commitment on this server
-    #: (:class:`repro.obs.tracer.Span`; None while no tracer is active).
-    commit_span: Any = None
-    #: Span id of this op's execution span here (the causal parent of
-    #: its eventual commitment; None while no tracer is active).
-    exec_span_id: Optional[int] = None
+    ``__slots__`` class (not a dataclass): one is built per executed
+    sub-op, and its attributes sit on the protocol's hottest paths.
+    """
+
+    __slots__ = (
+        "op_id", "subop", "role", "other_server", "result", "record",
+        "keys", "state", "hint", "req_msg", "all_no_dst",
+        "last_response", "waiters", "lcom_sent", "immediate_requested",
+        "vote_errno", "enqueued_at", "commit_span", "exec_span_id",
+    )
+
+    def __init__(
+        self,
+        op_id: OpId,
+        subop: SubOp,
+        role: str,
+        other_server: Optional[int],
+        result: ExecResult,
+        record: LogRecord,
+        keys: Optional[List[Any]] = None,
+        state: PendingState = PendingState.EXECUTED,
+        hint: Optional[OpId] = None,
+        req_msg: Optional[Message] = None,
+        all_no_dst: Optional[str] = None,
+        last_response: Optional[Dict[str, Any]] = None,
+        waiters: Optional[List[Any]] = None,
+        lcom_sent: bool = False,
+        immediate_requested: bool = False,
+        vote_errno: Optional[str] = None,
+        enqueued_at: Optional[float] = None,
+        commit_span: Any = None,
+        exec_span_id: Optional[int] = None,
+    ) -> None:
+        self.op_id = op_id
+        self.subop = subop
+        #: "coord" (we own the dirent / drive commitment), "part", or
+        #: "single" (single-server operation: local commitment only).
+        self.role = role
+        #: The peer server index (participant for coord-role,
+        #: coordinator for part-role, None for single).
+        self.other_server = other_server
+        self.result = result
+        self.record = record
+        #: Conflict keys registered in the active-object table.
+        self.keys = [] if keys is None else keys
+        self.state = state
+        #: Hint attached to the execution response ([null] or [op_id']).
+        self.hint = hint
+        #: The original client REQ (kept so a re-queued/invalidated
+        #: sub-op can be re-dispatched and re-answered).
+        self.req_msg = req_msg
+        #: Node id of a client waiting for ALL-NO after an L-COM.
+        self.all_no_dst = all_no_dst
+        #: The last response payload sent for this op (resent on
+        #: duplicate REQs after a client-side retry).
+        self.last_response = last_response
+        #: Events to succeed when this op's commitment completes.
+        self.waiters = [] if waiters is None else waiters
+        #: Participant-role only: an L-COM for this op was already sent
+        #: to the coordinator (avoid spamming on repeated conflicts).
+        self.lcom_sent = lcom_sent
+        #: An immediate commitment was requested before this op executed
+        #: here (pre-request); honored as soon as it is enqueued.
+        self.immediate_requested = immediate_requested
+        #: Coordinator-role only: the participant's errno from its vote.
+        self.vote_errno = vote_errno
+        #: Virtual time this op entered the lazy queue (feeds the
+        #: commitment-latency histogram).
+        self.enqueued_at = enqueued_at
+        #: Open tracing span for the in-flight commitment on this server
+        #: (:class:`repro.obs.tracer.Span`; None without a tracer).
+        self.commit_span = commit_span
+        #: Span id of this op's execution span here (the causal parent
+        #: of its eventual commitment; None without a tracer).
+        self.exec_span_id = exec_span_id
+
+    def __repr__(self) -> str:
+        return (
+            f"<PendingOp {self.op_id!r} role={self.role!r} "
+            f"state={self.state!r}>"
+        )
 
     @property
     def ok(self) -> bool:

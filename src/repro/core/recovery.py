@@ -213,7 +213,7 @@ class CxRecovery:
                 {"decisions": {op_id: committed}},
             )
             assert ack.kind is MessageKind.ACK
-        yield server.wal.append(
+        yield server.wal.append_h(
             LogRecord(op_id, RecordType.COMPLETE.value, size=role.params.log_record_size),
             urgent=True,
         )

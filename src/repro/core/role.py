@@ -167,15 +167,22 @@ class CxRole(ServerRole):
         # their outcomes (paper §III.B's design principle).  Only other
         # processes' pending operations block us.
         owner = (op_id[0], op_id[1])
+        holders_of = self.active.holders_of
 
         def foreign_holders():
             return [
                 h
-                for h in self.active.holders_of(keys)
+                for h in holders_of(keys)
                 if (h[0], h[1]) != owner and h != op_id
             ]
 
-        foreign = foreign_holders()
+        # First scan inlined: the overwhelmingly common case is an
+        # empty holder list, and the closure call costs as much as the
+        # scan itself.
+        foreign = [
+            h for h in holders_of(keys)
+            if (h[0], h[1]) != owner and h != op_id
+        ]
         # Disordered conflict, vote-first interleaving: if a commitment
         # VOTE for this very op is already waiting here, the coordinator
         # has ordered it before whatever executed-but-uncommitted op is
@@ -238,7 +245,7 @@ class CxRole(ServerRole):
             )
             return
 
-        yield from self.execute_now(msg)
+        yield from self.execute_now(msg, keys)
 
     def _resend_duplicate(self, msg: Message, subop) -> bool:
         op_id = subop.op_id
@@ -270,16 +277,20 @@ class CxRole(ServerRole):
             return True  # already queued behind a commitment; drop the dup
         return False
 
-    def execute_now(self, msg: Message) -> Generator:
+    def execute_now(self, msg: Message, keys=None) -> Generator:
         """Execute an update sub-op: steps 1–2 of the basic protocol.
 
         Also used inline by the participant's disordered-conflict path.
-        Returns the new :class:`PendingOp`.
+        ``keys`` lets :meth:`_handle_req` pass the conflict footprint it
+        already computed instead of re-deriving it.  Returns the new
+        :class:`PendingOp`.
         """
-        subop = msg.payload["subop"]
+        mp = msg.payload
+        subop = mp["subop"]
         op_id = subop.op_id
         self._blocked_ops.discard(op_id)
-        keys = conflict_keys(subop)
+        if keys is None:
+            keys = conflict_keys(subop)
         cross = subop.role in ("coord", "part")
 
         # Acquire the conflict footprint *before* any yield: requests
@@ -301,7 +312,7 @@ class CxRole(ServerRole):
             )
             if traced else None
         )
-        yield self.sim.timeout(self.params.cpu_subop)
+        yield self.sim.timeout_h(self.params.cpu_subop)
         res = self.server.shard.execute(subop, self.sim.now)
         if exec_span is not None:
             exec_span.end(ok=res.ok, errno=res.errno)
@@ -313,11 +324,12 @@ class CxRole(ServerRole):
             released = self.active.release(op_id, committed=False)
             self.reinject_blocked(released, ordered_after=None)
 
+        other_server = mp.get("other_server")
         record = make_result_record(
             op_id,
             subop,
             res,
-            msg.payload.get("other_server"),
+            other_server,
             self.params.log_record_size,
         )
         # The pending entry must exist before we block on the log write:
@@ -327,11 +339,11 @@ class CxRole(ServerRole):
             op_id=op_id,
             subop=subop,
             role=subop.role,
-            other_server=msg.payload.get("other_server"),
+            other_server=other_server,
             result=res,
             record=record,
             keys=keys if (res.ok and cross) else [],
-            hint=msg.payload.get("ordered_after"),
+            hint=mp.get("ordered_after"),
             req_msg=msg,
         )
         self.pending[op_id] = pend
@@ -351,25 +363,25 @@ class CxRole(ServerRole):
             # around the synchronous append() call (the yield waits on
             # the returned event, after the records are admitted).
             tracer.ambient = record_span.span_id
-            append_done = self.server.wal.append(record)
+            append_done = self.server.wal.append_h(record)
             tracer.ambient = None
             yield append_done
             record_span.end()
         else:
-            yield self.server.wal.append(record)
+            yield self.server.wal.append_h(record)
 
-        hint_block = ResponseHint(
-            hint=pend.hint,
-            hint_covers_other=msg.payload.get("ordered_after_covers", False),
-            saw_commits=tuple(self.active.saw_commits(keys)),
-        )
+        # The ResponseHint block, built directly into the payload (the
+        # dataclass + to_payload() + dict-merge detour costs a dict and
+        # an object per response on the hottest protocol path).
         payload = {
             "op_id": op_id,
             "role": subop.role,
             "ok": res.ok,
             "errno": res.errno,
-            "conflicted": msg.payload.get("conflicted", False),
-            **hint_block.to_payload(),
+            "conflicted": mp.get("conflicted", False),
+            "hint": pend.hint,
+            "hint_covers_other": mp.get("ordered_after_covers", False),
+            "saw_commits": tuple(self.active.saw_commits(keys)),
         }
         kind = MessageKind.YES if res.ok else MessageKind.NO
         pend.last_response = (kind, payload)

@@ -61,7 +61,7 @@ class CommitTriggers:
     def _timer_loop(self):
         try:
             while True:
-                yield self.sim.timeout(self.timeout)
+                yield self.sim.timeout_h(self.timeout)
                 self.timeout_fires += 1
                 if self.on_fire is not None:
                     self.on_fire("timeout")

@@ -12,7 +12,6 @@ protocol byte-identical in *what* it changes and different only in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, List, Optional, Tuple
 
 from repro.fs.errors import (
@@ -27,21 +26,45 @@ from repro.storage.kvstore import KVStore
 #: (key, value) — value None means "delete the key".
 Update = Tuple[Any, Optional[Any]]
 
+#: Scratch-miss sentinel (None is a legal scratch value: a deletion).
+_MISS = object()
 
-@dataclass
+
 class ExecResult:
-    """Outcome of executing (planning) one sub-op."""
+    """Outcome of executing (planning) one sub-op.
 
-    ok: bool
-    errno: Optional[str] = None
-    #: Writes to apply, in order.
-    updates: List[Update] = field(default_factory=list)
-    #: Inverse writes restoring the pre-execution state, in order.
-    undo: List[Update] = field(default_factory=list)
-    #: Keys the sub-op read or wrote (conflict-detection footprint).
-    touched: List[Any] = field(default_factory=list)
-    #: Read result for read-only actions (inode / dirent).
-    value: Any = None
+    ``__slots__`` class (not a dataclass): one is built per sub-op
+    execution, three list fields and all.
+    """
+
+    __slots__ = ("ok", "errno", "updates", "undo", "touched", "value")
+
+    def __init__(
+        self,
+        ok: bool,
+        errno: Optional[str] = None,
+        updates: Optional[List[Update]] = None,
+        undo: Optional[List[Update]] = None,
+        touched: Optional[List[Any]] = None,
+        value: Any = None,
+    ) -> None:
+        self.ok = ok
+        self.errno = errno
+        #: Writes to apply, in order.
+        self.updates = [] if updates is None else updates
+        #: Inverse writes restoring the pre-execution state, in order.
+        self.undo = [] if undo is None else undo
+        #: Keys the sub-op read or wrote (conflict-detection footprint).
+        self.touched = [] if touched is None else touched
+        #: Read result for read-only actions (inode / dirent).
+        self.value = value
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecResult(ok={self.ok!r}, errno={self.errno!r}, "
+            f"updates={self.updates!r}, undo={self.undo!r}, "
+            f"touched={self.touched!r}, value={self.value!r})"
+        )
 
 
 class NamespaceShard:
@@ -96,21 +119,26 @@ class NamespaceShard:
         # Scratch view so later actions of the same sub-op observe
         # earlier ones (e.g. single-server create = insert + add inode).
         scratch: dict = {}
+        # Everything the helpers touch is bound once: execute() runs
+        # once per sub-op and the helpers several times per action.
+        sget = scratch.get
+        kvget = self.kv.get
+        updates = result.updates
+        undo = result.undo
 
         def read(key: Any) -> Any:
-            if key in scratch:
-                return scratch[key]
-            return self.kv.get(key)
+            val = sget(key, _MISS)
+            return kvget(key) if val is _MISS else val
 
         def write(key: Any, value: Optional[Any]) -> None:
-            old = read(key)
-            result.updates.append((key, value))
-            result.undo.append((key, old))
+            old = sget(key, _MISS)
+            if old is _MISS:
+                old = kvget(key)
+            updates.append((key, value))
+            undo.append((key, old))
             scratch[key] = value
 
-        def touch(key: Any) -> None:
-            result.touched.append(key)
-
+        touch = result.touched.append
         args = subop.args
         for action in subop.actions:
             errno = self._apply_action(action, args, now, read, write, touch, result)

@@ -9,7 +9,6 @@ thing to the namespace, the store, and the protocol.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
 from typing import Tuple
 
 #: KV key of an inode: ("i", handle)
@@ -31,7 +30,6 @@ class FileType(str, enum.Enum):
     DIRECTORY = "directory"
 
 
-@dataclass(frozen=True)
 class Inode:
     """An immutable inode value (updates replace the whole object).
 
@@ -40,34 +38,91 @@ class Inode:
     directory entries on *this* shard (directory entries are hash-
     distributed across servers, so each server tracks its local count;
     the paper's "update parent inode" sub-op updates this local stub).
+
+    A hand-written ``__slots__`` value class: every namespace update
+    builds a replacement Inode, and ``dataclasses.replace`` on a frozen
+    dataclass costs an order of magnitude more than this constructor.
+    Immutable by convention — nothing mutates an Inode after creation.
     """
 
-    handle: int
-    ftype: FileType
-    nlink: int = 1
-    size: int = 0
-    entries: int = 0
-    mtime: float = 0.0
+    __slots__ = ("handle", "ftype", "nlink", "size", "entries", "mtime")
+
+    def __init__(
+        self,
+        handle: int,
+        ftype: FileType,
+        nlink: int = 1,
+        size: int = 0,
+        entries: int = 0,
+        mtime: float = 0.0,
+    ) -> None:
+        self.handle = handle
+        self.ftype = ftype
+        self.nlink = nlink
+        self.size = size
+        self.entries = entries
+        self.mtime = mtime
 
     def with_nlink(self, delta: int, now: float) -> "Inode":
-        return replace(self, nlink=self.nlink + delta, mtime=now)
+        return Inode(self.handle, self.ftype, self.nlink + delta,
+                     self.size, self.entries, now)
 
     def with_entries(self, delta: int, now: float) -> "Inode":
-        return replace(self, entries=self.entries + delta, mtime=now)
+        return Inode(self.handle, self.ftype, self.nlink,
+                     self.size, self.entries + delta, now)
 
     def touched(self, now: float) -> "Inode":
-        return replace(self, mtime=now)
+        return Inode(self.handle, self.ftype, self.nlink,
+                     self.size, self.entries, now)
 
     @property
     def is_dir(self) -> bool:
         return self.ftype is FileType.DIRECTORY
 
+    def _key(self) -> tuple:
+        return (self.handle, self.ftype, self.nlink, self.size,
+                self.entries, self.mtime)
 
-@dataclass(frozen=True)
+    def __eq__(self, other: object) -> bool:
+        return type(other) is Inode and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return (
+            f"Inode(handle={self.handle!r}, ftype={self.ftype!r}, "
+            f"nlink={self.nlink!r}, size={self.size!r}, "
+            f"entries={self.entries!r}, mtime={self.mtime!r})"
+        )
+
+
 class DirEntry:
     """A directory entry mapping (parent dir, name) -> file handle."""
 
-    parent: int
-    name: str
-    target: int
-    is_dir: bool = False
+    __slots__ = ("parent", "name", "target", "is_dir")
+
+    def __init__(self, parent: int, name: str, target: int,
+                 is_dir: bool = False) -> None:
+        self.parent = parent
+        self.name = name
+        self.target = target
+        self.is_dir = is_dir
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(other) is DirEntry
+            and self.parent == other.parent
+            and self.name == other.name
+            and self.target == other.target
+            and self.is_dir == other.is_dir
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.parent, self.name, self.target, self.is_dir))
+
+    def __repr__(self) -> str:
+        return (
+            f"DirEntry(parent={self.parent!r}, name={self.name!r}, "
+            f"target={self.target!r}, is_dir={self.is_dir!r})"
+        )

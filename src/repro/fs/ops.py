@@ -14,7 +14,6 @@ commitment).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
 from repro.fs.placement import PlacementPolicy
@@ -88,6 +87,11 @@ class SubOpAction(str, enum.Enum):
     READ_DIR = "read_dir"
 
 
+_READONLY_ACTIONS = frozenset(
+    (SubOpAction.READ_INODE, SubOpAction.READ_ENTRY, SubOpAction.READ_DIR)
+)
+
+
 #: Reproduction of Table I: op type -> (coordinator actions, participant actions).
 TABLE1_SPLIT: Dict[OpType, Tuple[Tuple[SubOpAction, ...], Tuple[SubOpAction, ...]]] = {
     OpType.CREATE: ((SubOpAction.INSERT_ENTRY,), (SubOpAction.ADD_INODE,)),
@@ -99,77 +103,165 @@ TABLE1_SPLIT: Dict[OpType, Tuple[Tuple[SubOpAction, ...], Tuple[SubOpAction, ...
 }
 
 
-@dataclass(frozen=True)
 class FileOperation:
-    """One metadata operation issued by a client process."""
+    """One metadata operation issued by a client process.
 
-    op_type: OpType
-    op_id: OpId
-    #: Handle of the parent directory (entry-touching ops).
-    parent: Optional[int] = None
-    #: Entry name within the parent directory.
-    name: Optional[str] = None
-    #: Handle of the file/directory inode the operation targets.
-    target: Optional[int] = None
-    #: Rename only: destination directory handle.
-    new_parent: Optional[int] = None
-    #: Rename only: destination entry name.
-    new_name: Optional[str] = None
+    This and the planner types below (:class:`SubOp`, :class:`OpPlan`)
+    are hand-written ``__slots__`` value classes rather than frozen
+    dataclasses: a trace replay constructs several per operation, and
+    frozen-dataclass construction (``object.__setattr__`` per field
+    plus ``__post_init__``) costs a multiple of a plain constructor.
+    Instances are immutable by convention — nothing mutates them after
+    planning.
+    """
 
-    def __post_init__(self) -> None:
-        if self.op_type is OpType.RENAME:
-            if None in (self.parent, self.name, self.new_parent, self.new_name):
+    __slots__ = ("op_type", "op_id", "parent", "name", "target",
+                 "new_parent", "new_name")
+
+    def __init__(
+        self,
+        op_type: OpType,
+        op_id: OpId,
+        parent: Optional[int] = None,
+        name: Optional[str] = None,
+        target: Optional[int] = None,
+        new_parent: Optional[int] = None,
+        new_name: Optional[str] = None,
+    ) -> None:
+        self.op_type = op_type
+        self.op_id = op_id
+        self.parent = parent
+        self.name = name
+        self.target = target
+        self.new_parent = new_parent
+        self.new_name = new_name
+        if op_type is OpType.RENAME:
+            if None in (parent, name, new_parent, new_name):
                 raise ValueError("rename needs src and dst parent+name")
             return
-        needs_entry = self.op_type in CROSS_CAPABLE_OPS or self.op_type in (
+        needs_entry = op_type in CROSS_CAPABLE_OPS or op_type in (
             OpType.LOOKUP,
             OpType.READDIR,
         )
-        if needs_entry and self.parent is None:
-            raise ValueError(f"{self.op_type} needs a parent directory")
-        if self.op_type in CROSS_CAPABLE_OPS and self.name is None:
-            raise ValueError(f"{self.op_type} needs an entry name")
-        if self.op_type in (OpType.STAT, OpType.SETATTR) and self.target is None:
-            raise ValueError(f"{self.op_type} needs a target handle")
+        if needs_entry and parent is None:
+            raise ValueError(f"{op_type} needs a parent directory")
+        if op_type in CROSS_CAPABLE_OPS and name is None:
+            raise ValueError(f"{op_type} needs an entry name")
+        if op_type in (OpType.STAT, OpType.SETATTR) and target is None:
+            raise ValueError(f"{op_type} needs a target handle")
+
+    def _key(self) -> tuple:
+        return (self.op_type, self.op_id, self.parent, self.name,
+                self.target, self.new_parent, self.new_name)
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is FileOperation and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return (
+            f"FileOperation(op_type={self.op_type!r}, op_id={self.op_id!r}, "
+            f"parent={self.parent!r}, name={self.name!r}, "
+            f"target={self.target!r}, new_parent={self.new_parent!r}, "
+            f"new_name={self.new_name!r})"
+        )
 
 
-@dataclass(frozen=True)
 class SubOp:
     """The slice of an operation assigned to one server."""
 
-    op_id: OpId
-    op_type: OpType
-    #: "coord", "part", or "single".
-    role: str
-    #: Index of the server this sub-op runs on.
-    server: int
-    actions: Tuple[SubOpAction, ...]
-    args: Dict[str, Any] = field(default_factory=dict)
+    __slots__ = ("op_id", "op_type", "role", "server", "actions", "args",
+                 "is_readonly")
+
+    def __init__(
+        self,
+        op_id: OpId,
+        op_type: OpType,
+        role: str,
+        server: int,
+        actions: Tuple[SubOpAction, ...],
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.op_id = op_id
+        self.op_type = op_type
+        #: "coord", "part", or "single".
+        self.role = role
+        #: Index of the server this sub-op runs on.
+        self.server = server
+        self.actions = actions
+        self.args = {} if args is None else args
+        #: Precomputed: the request path checks this on every REQ.
+        self.is_readonly = _READONLY_ACTIONS.issuperset(actions)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(other) is SubOp
+            and self.op_id == other.op_id
+            and self.op_type is other.op_type
+            and self.role == other.role
+            and self.server == other.server
+            and self.actions == other.actions
+            and self.args == other.args
+        )
 
     def __hash__(self) -> int:  # args dict is never mutated after planning
         return hash((self.op_id, self.role, self.server, self.actions))
 
-    @property
-    def is_readonly(self) -> bool:
-        return all(
-            a in (SubOpAction.READ_INODE, SubOpAction.READ_ENTRY, SubOpAction.READ_DIR)
-            for a in self.actions
+    def __repr__(self) -> str:
+        return (
+            f"SubOp(op_id={self.op_id!r}, op_type={self.op_type!r}, "
+            f"role={self.role!r}, server={self.server!r}, "
+            f"actions={self.actions!r}, args={self.args!r})"
         )
 
 
-@dataclass(frozen=True)
 class OpPlan:
     """Placement-resolved execution plan of one operation."""
 
-    op: FileOperation
-    coordinator: int
-    coord_subop: SubOp
-    participant: Optional[int] = None
-    part_subop: Optional[SubOp] = None
-    #: Renames bypass the regular cross-server protocol: every protocol
-    #: runs them as an eager two-shard transaction (the paper excludes
-    #: rename from Cx's optimization — footnote 1).
-    is_rename: bool = False
+    __slots__ = ("op", "coordinator", "coord_subop", "participant",
+                 "part_subop", "is_rename")
+
+    def __init__(
+        self,
+        op: FileOperation,
+        coordinator: int,
+        coord_subop: SubOp,
+        participant: Optional[int] = None,
+        part_subop: Optional[SubOp] = None,
+        is_rename: bool = False,
+    ) -> None:
+        self.op = op
+        self.coordinator = coordinator
+        self.coord_subop = coord_subop
+        self.participant = participant
+        self.part_subop = part_subop
+        #: Renames bypass the regular cross-server protocol: every
+        #: protocol runs them as an eager two-shard transaction (the
+        #: paper excludes rename from Cx's optimization — footnote 1).
+        self.is_rename = is_rename
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(other) is OpPlan
+            and self.op == other.op
+            and self.coordinator == other.coordinator
+            and self.coord_subop == other.coord_subop
+            and self.participant == other.participant
+            and self.part_subop == other.part_subop
+            and self.is_rename == other.is_rename
+        )
+
+    __hash__ = None  # type: ignore[assignment]  # unhashable, like the eq dataclass
+
+    def __repr__(self) -> str:
+        return (
+            f"OpPlan(op={self.op!r}, coordinator={self.coordinator!r}, "
+            f"coord_subop={self.coord_subop!r}, "
+            f"participant={self.participant!r}, "
+            f"part_subop={self.part_subop!r}, is_rename={self.is_rename!r})"
+        )
 
     @property
     def cross_server(self) -> bool:

@@ -136,13 +136,8 @@ class Message:
         at call sites that know nothing about tracing.
         """
         return Message(
-            kind=kind,
-            src=self.dst,
-            dst=self.src,
-            payload=payload or {},
-            size=size,
-            reply_to=self.msg_id,
-            span_id=span_id if span_id is not None else self.span_id,
+            kind, self.dst, self.src, payload or {}, size, None, self.msg_id,
+            span_id if span_id is not None else self.span_id,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -9,6 +9,7 @@ storage costs, not by link saturation (metadata messages are tiny).
 
 from __future__ import annotations
 
+import heapq
 from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from repro.net.message import Message, MessageKind
@@ -16,7 +17,6 @@ from repro.net.stats import MessageStats
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.params import SimParams
 from repro.sim import Event, Simulator, Store
-from repro.sim.events import _PENDING
 
 if TYPE_CHECKING:  # pragma: no cover
     pass
@@ -26,49 +26,25 @@ class UnknownNode(KeyError):
     """Message addressed to a node id that was never registered."""
 
 
-class _Delivery(Event):
-    """A pooled in-flight-message event.
-
-    One of these used to be allocated per message (an :class:`Event`
-    plus a ``_deliver`` closure) — the dominant allocation of the
-    network layer.  Delivery events are internal to the network: no
-    code outside :meth:`Network.send` ever holds a reference, so after
-    processing they are reset and returned to the network's free list
-    instead of being garbage.
-    """
-
-    __slots__ = ("network", "msg", "dst")
-
-    def __init__(self, network: "Network") -> None:
-        super().__init__(network.sim)
-        self.network = network
-        self.msg: Optional[Message] = None
-        self.dst: Optional["Node"] = None
-        self.callbacks.append(_Delivery._on_processed)  # type: ignore[union-attr]
-
-    @staticmethod
-    def _on_processed(ev: "_Delivery") -> None:
-        msg, dst, network = ev.msg, ev.dst, ev.network
-        ev.msg = ev.dst = None
-        if dst.crashed:
-            src = network.nodes.get(msg.src)
-            if src is not None:
-                waiter = src._pending_rpcs.pop(msg.msg_id, None)
-                if waiter is not None and not waiter.triggered:
-                    waiter.fail(ConnectionError(f"{msg.dst} is down"))
-        else:
-            dst.deliver(msg)
-        # Reset to pristine pending state and recycle.
-        ev.callbacks = [_Delivery._on_processed]
-        ev._value = _PENDING
-        ev._exc = None
-        ev._ok = None
-        ev._defused = False
-        network._free_deliveries.append(ev)
+#: Bound once: ``MessageStats.EXCLUDED`` costs a global + attribute
+#: load on every send otherwise.
+_EXCLUDED = MessageStats.EXCLUDED
 
 
 class Network:
-    """Registry of nodes plus the delivery mechanism."""
+    """Registry of nodes plus the delivery mechanism.
+
+    Deliveries ride on anonymous event handles carrying a pooled
+    ``[arrival, msgs, dsts]`` batch: back-to-back sends that land at
+    the same arrival instant — a Cx commit fan-out, the client's
+    coordinator+participant REQ pair — coalesce into *one* timeline
+    entry delivering N messages in one dispatch.  Coalescing is legal
+    only when nothing else entered the timeline between the sends
+    (checked via the simulator's sequence counter) and the arrival
+    times match exactly; each coalesced message still burns a sequence
+    number and counts as one processed event, so the schedule — and the
+    golden event counts — are bit-identical to per-message delivery.
+    """
 
     def __init__(
         self,
@@ -79,12 +55,24 @@ class Network:
         self.sim = sim
         self.params = params
         self.nodes: Dict[str, "Node"] = {}
+        #: Optional callback ``node_id -> Node | None`` consulted when a
+        #: message targets an unregistered id — the lazy-cluster hook
+        #: that materializes servers on first contact.  Cold path only:
+        #: a registered destination never pays for the check.
+        self.node_factory = None
         self.stats = MessageStats()
         self.tracer = tracer or NULL_TRACER
         #: node id -> (net.sent, net.sent_bytes) counters, resolved once.
         self._send_counters: Dict[str, Optional[tuple]] = {}
-        #: free list of recycled delivery events (see :class:`_Delivery`).
-        self._free_deliveries: list[_Delivery] = []
+        #: the batch still accepting coalesced sends (None once closed).
+        self._open_batch: Optional[list] = None
+        #: the next sim sequence number iff nothing was scheduled since
+        #: the last send (the coalescing precondition).
+        self._batch_next_seq = -1
+        #: recycled ``[arrival, msgs, dsts]`` batches.
+        self._free_batches: list[list] = []
+        # Bound once; this is the delivery dispatch callback.
+        self._deliver_cb = self._deliver_batch
 
     def register(self, node: "Node") -> None:
         if node.node_id in self.nodes:
@@ -104,8 +92,18 @@ class Network:
         """
         dst = self.nodes.get(msg.dst)
         if dst is None:
-            raise UnknownNode(msg.dst)
-        self.stats.record(msg)
+            factory = self.node_factory
+            if factory is not None:
+                dst = factory(msg.dst)
+            if dst is None:
+                raise UnknownNode(msg.dst)
+        # MessageStats.record, inlined (this is the per-message hot path).
+        stats = self.stats
+        kind = msg.kind
+        stats.by_kind[kind] += 1
+        if kind not in _EXCLUDED:
+            stats.total += 1
+            stats.total_bytes += msg.size
         counters = self._send_counters.get(msg.src, False)
         if counters is False:
             metrics = getattr(self.nodes.get(msg.src), "metrics", None)
@@ -114,8 +112,8 @@ class Network:
                 else (metrics.counter("net.sent"), metrics.counter("net.sent_bytes"))
             )
         if counters is not None:
-            counters[0].inc()
-            counters[1].inc(msg.size)
+            counters[0].value += 1
+            counters[1].value += msg.size
         # Via delay_for (not inlined): tests shim it to skew deliveries.
         delay = self.delay_for(msg)
         if self.tracer.enabled:
@@ -140,13 +138,79 @@ class Network:
                 )
                 msg.span_id = hop_id
 
-        free = self._free_deliveries
-        ev = free.pop() if free else _Delivery(self)
-        ev.msg = msg
-        ev.dst = dst
-        ev._ok = True
-        ev._value = None
-        self.sim.schedule(ev, delay=delay)
+        sim = self.sim
+        arrival = sim._now + delay
+        batch = self._open_batch
+        if (batch is not None and sim._seq == self._batch_next_seq
+                and batch[0] == arrival):
+            # Coalesce: consecutive sends with no intervening schedule
+            # and the same arrival instant extend the in-flight batch.
+            # Burn the sequence number the per-message delivery would
+            # have taken, so every other event keeps its exact slot.
+            sim._seq = self._batch_next_seq = sim._seq + 1
+            batch[1].append(msg)
+            batch[2].append(dst)
+            return
+        free = self._free_batches
+        if free:
+            batch = free.pop()
+            batch[0] = arrival
+            batch[1].append(msg)
+            batch[2].append(dst)
+        else:
+            batch = [arrival, [msg], [dst]]
+        afree = sim._afree
+        h = afree.pop() if afree else sim._alloc_h()
+        sim._ast[h] = 1  # H_OK
+        sim._aval[h] = batch
+        sim._acb[h] = self._deliver_cb
+        seq = sim._seq
+        sim._seq = seq + 1
+        if delay == 0.0:
+            sim._aq[h] = seq
+            sim._lane_normal.append(h)
+        else:
+            nodes = sim._free_nodes
+            if nodes:
+                node = nodes.pop()
+                node[0] = arrival
+                node[1] = 1
+                node[2] = seq
+                node[3] = h
+            else:
+                node = [arrival, 1, seq, h]
+            heapq.heappush(sim._heap, node)
+        self._open_batch = batch
+        self._batch_next_seq = seq + 1
+
+    def _deliver_batch(self, h: int) -> None:
+        """Dispatch callback: deliver every message of one batch."""
+        sim = self.sim
+        batch = sim._aval[h]
+        if self._open_batch is batch:
+            self._open_batch = None
+        msgs = batch[1]
+        dsts = batch[2]
+        n = len(msgs)
+        if n > 1:
+            # One pop carried n logical delivery events; keep
+            # events_processed identical to per-message delivery.
+            sim._n_extra += n - 1
+        nodes = self.nodes
+        for i in range(n):
+            msg = msgs[i]
+            dst = dsts[i]
+            if dst.crashed:
+                src = nodes.get(msg.src)
+                if src is not None:
+                    waiter = src._pending_rpcs.pop(msg.msg_id, None)
+                    if waiter is not None and not waiter.triggered:
+                        waiter.fail(ConnectionError(f"{msg.dst} is down"))
+            else:
+                dst.deliver(msg)
+        msgs.clear()
+        dsts.clear()
+        self._free_batches.append(batch)
 
 
 class Node:
@@ -199,12 +263,9 @@ class Node:
         is parented on it (see :meth:`Network.send`).
         """
         msg = Message(
-            kind=kind,
-            src=self.node_id,
-            dst=dst,
-            payload=payload or {},
-            size=size if size is not None else self.network.params.msg_base_size,
-            span_id=span_id,
+            kind, self.node_id, dst, payload or {},
+            size if size is not None else self.network.params.msg_base_size,
+            None, None, span_id,
         )
         self.network.send(msg)
         return msg

@@ -89,7 +89,7 @@ class ServerRole(abc.ABC):
 
     def execute_readonly(self, subop: SubOp):
         """Common read path: CPU cost then a shard read, no disk."""
-        yield self.sim.timeout(self.params.cpu_readonly)
+        yield self.sim.timeout_h(self.params.cpu_readonly)
         return self.server.shard.execute(subop, self.sim.now)
 
     def reply_result(self, msg: Message, res, extra=None, span_id=None) -> None:
@@ -177,7 +177,7 @@ class RenameTransactionMixin:
 
         plan: OpPlan = msg.payload["rename_plan"]
         op_id = plan.op.op_id
-        yield self.sim.timeout(self.params.cpu_subop)
+        yield self.sim.timeout_h(self.params.cpu_subop)
 
         if not plan.cross_server:
             res = self.server.shard.execute(plan.coord_subop, self.sim.now)
@@ -205,7 +205,7 @@ class RenameTransactionMixin:
             return
 
         # 3. commit: apply the removal, log, finalize the destination
-        yield self.server.wal.append(
+        yield self.server.wal.append_h(
             LogRecord(op_id, RENAME_RECORD, size=self.params.log_record_size)
         )
         events = self.server.shard.apply_sync(res.updates)
@@ -230,10 +230,10 @@ class RenameTransactionMixin:
 
         subop = msg.payload["subop"]
         op_id = msg.payload["txn"]
-        yield self.sim.timeout(self.params.cpu_subop)
+        yield self.sim.timeout_h(self.params.cpu_subop)
         res = self.server.shard.execute(subop, self.sim.now)
         if res.ok:
-            yield self.server.wal.append(
+            yield self.server.wal.append_h(
                 LogRecord(op_id, RENAME_RECORD, size=self.params.log_record_size)
             )
             events = self.server.shard.apply_sync(res.updates)
@@ -255,7 +255,7 @@ class RenameTransactionMixin:
             if events:
                 yield self.sim.all_of(events)
         else:
-            yield self.sim.timeout(self.params.kv_cpu)
+            yield self.sim.timeout_h(self.params.kv_cpu)
         if self.server.tracer.enabled:
             self.server.tracer.event(
                 "decision", self.server.node_id, cat="protocol",

@@ -93,7 +93,7 @@ class CentralRole(ServerRole):
         view = NamespaceShard(_DictKV(objects), self.server.index)  # type: ignore[arg-type]
         res_p = view.execute(part_subop, self.sim.now)
         ok = res_c.ok and res_p.ok
-        yield self.server.wal.append(
+        yield self.server.wal.append_h(
             LogRecord(op_id, "TXN", {"ok": ok}, size=self.params.log_record_size)
         )
         if ok:
@@ -128,7 +128,7 @@ class CentralRole(ServerRole):
         keys = msg.payload["keys"]
         yield self.sim.timeout(self.params.kv_cpu * len(keys))
         # Journal the migration so a crash can re-home the objects.
-        yield self.server.wal.append(
+        yield self.server.wal.append_h(
             LogRecord(
                 msg.payload["txn"], "MIG-OUT", size=self.params.log_record_size
             )
@@ -147,7 +147,7 @@ class CentralRole(ServerRole):
             events = self.server.shard.apply_sync(list(objects))
             if events:
                 yield self.sim.all_of(events)
-        yield self.server.wal.append(
+        yield self.server.wal.append_h(
             LogRecord(msg.payload["txn"], "MIG-IN", size=self.params.log_record_size)
         )
         self.server.wal.prune_op(msg.payload["txn"])

@@ -136,13 +136,13 @@ class SerialBatchedRole(ServerRole):
                     role=subop.role, size=record.size,
                 )
                 tracer.ambient = record_span.span_id
-                append_done = self.server.wal.append(record)
+                append_done = self.server.wal.append_h(record)
                 tracer.ambient = None
                 yield append_done
                 record_span.end()
                 last_sid = record_span.span_id
             else:
-                yield self.server.wal.append(record)
+                yield self.server.wal.append_h(record)
             self._check_threshold()
         self.reply_result(msg, res, span_id=last_sid)
 
@@ -157,7 +157,7 @@ class SerialBatchedRole(ServerRole):
             size=self.params.log_record_size * max(1, len(undo)),
         )
         self._logged_ops.append(msg.payload["op_id_clear"])
-        yield self.server.wal.append(record)
+        yield self.server.wal.append_h(record)
         self.server.send_reply(msg, MessageKind.RESP, {"ok": True})
 
     def _check_threshold(self) -> None:

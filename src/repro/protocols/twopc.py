@@ -75,7 +75,7 @@ class TwoPCRole(ServerRole):
         part_node = self.cluster.server_id(participant)
 
         # Phase 1: log, then VOTE to the participant.
-        yield wal.append(LogRecord(op_id, "BEGIN", size=self.params.log_record_size))
+        yield wal.append_h(LogRecord(op_id, "BEGIN", size=self.params.log_record_size))
         vote = yield self.server.request(
             part_node, MessageKind.VOTE, {"subop": part_subop, "txn": op_id}
         )
@@ -84,7 +84,7 @@ class TwoPCRole(ServerRole):
         # Execute the local sub-op after collecting the vote (Fig. 1(a)).
         yield self.sim.timeout(self.params.cpu_subop)
         res = self.server.shard.execute(coord_subop, self.sim.now)
-        yield wal.append(
+        yield wal.append_h(
             LogRecord(op_id, "RESULT", {"ok": res.ok}, size=self.params.log_record_size)
         )
 
@@ -92,12 +92,12 @@ class TwoPCRole(ServerRole):
             events = self.server.shard.apply_sync(res.updates)
             if events:
                 yield self.sim.all_of(events)
-            yield wal.append(LogRecord(op_id, "COMMIT", size=self.params.log_record_size))
+            yield wal.append_h(LogRecord(op_id, "COMMIT", size=self.params.log_record_size))
             ack = yield self.server.request(
                 part_node, MessageKind.COMMIT_REQ, {"txn": op_id}
             )
             assert ack.kind is MessageKind.ACK
-            yield wal.append(
+            yield wal.append_h(
                 LogRecord(op_id, "COMPLETE", size=self.params.log_record_size)
             )
             wal.prune_op(op_id)
@@ -105,7 +105,7 @@ class TwoPCRole(ServerRole):
             return
 
         # Abort path.
-        yield wal.append(LogRecord(op_id, "ABORT", size=self.params.log_record_size))
+        yield wal.append_h(LogRecord(op_id, "ABORT", size=self.params.log_record_size))
         if part_ok:
             ack = yield self.server.request(
                 part_node, MessageKind.ABORT_REQ, {"txn": op_id}
@@ -124,7 +124,7 @@ class TwoPCRole(ServerRole):
         op_id = msg.payload["txn"]
         yield self.sim.timeout(self.params.cpu_subop)
         res = self.server.shard.execute(subop, self.sim.now)
-        yield self.server.wal.append(
+        yield self.server.wal.append_h(
             LogRecord(op_id, "RESULT", {"ok": res.ok}, size=self.params.log_record_size)
         )
         if res.ok:
@@ -142,11 +142,11 @@ class TwoPCRole(ServerRole):
             events = self.server.shard.apply_sync(res.updates)
             if events:
                 yield self.sim.all_of(events)
-            yield self.server.wal.append(
+            yield self.server.wal.append_h(
                 LogRecord(op_id, "COMMIT", size=self.params.log_record_size)
             )
         else:
-            yield self.server.wal.append(
+            yield self.server.wal.append_h(
                 LogRecord(op_id, "ABORT", size=self.params.log_record_size)
             )
         self.server.wal.prune_op(op_id)

@@ -41,50 +41,68 @@ BENCH_TRACE = "CTH"
 
 #: Event-loop microbenchmark size (events popped, roughly).
 LOOP_EVENTS = 400_000
-LOOP_EVENTS_QUICK = 40_000
+LOOP_EVENTS_QUICK = 100_000
 
 
 def _host() -> Dict[str, object]:
+    from repro.sim import KERNEL_VARIANT
+
     return {
         "cpu_count": os.cpu_count() or 1,
         "python": platform.python_version(),
         "platform": platform.platform(),
+        # "pure" or "compiled" (mypyc).  Throughput numbers from the two
+        # kernels are not comparable; the perf-gate refuses to mix them.
+        "kernel_variant": KERNEL_VARIANT,
     }
 
 
-def bench_event_loop(quick: bool = False) -> Dict[str, object]:
+def bench_event_loop(quick: bool = False, rounds: int = 1) -> Dict[str, object]:
     """Raw kernel throughput: timeout churn with no protocol on top.
 
     100 generator processes ping-pong through ``sim.timeout`` until the
     target event count is reached — the same schedule/pop/resume cycle
-    every replay event pays, isolated from file-system logic.
+    every replay event pays, isolated from file-system logic.  With
+    ``rounds > 1`` the whole loop runs that many times and the fastest
+    wall time is reported (best-of is the standard noise filter for
+    throughput trajectories).
     """
     from repro.sim import Simulator
 
     target = LOOP_EVENTS_QUICK if quick else LOOP_EVENTS
-    sim = Simulator()
     workers = 100
     # Each timeout costs two popped events (the Timeout, then the
     # process-resume event), so halve the per-worker iteration count.
     per_worker = max(1, target // (2 * workers))
 
-    def ticker():
-        for _ in range(per_worker):
-            yield sim.timeout(1.0)
+    best_wall = float("inf")
+    events = 0
+    for _ in range(max(1, rounds)):
+        sim = Simulator()
 
-    for _ in range(workers):
-        sim.process(ticker())
-    start = time.perf_counter()
-    sim.run()
-    wall = time.perf_counter() - start
+        def ticker():
+            for _ in range(per_worker):
+                yield sim.timeout(1.0)
+
+        for _ in range(workers):
+            sim.process(ticker())
+        start = time.perf_counter()
+        sim.run()
+        wall = time.perf_counter() - start
+        events = sim.events_processed
+        if wall < best_wall:
+            best_wall = wall
     return {
-        "events": sim.events_processed,
-        "wall_seconds": wall,
-        "events_per_sec": sim.events_processed / wall if wall > 0 else 0.0,
+        "events": events,
+        "wall_seconds": best_wall,
+        "events_per_sec": events / best_wall if best_wall > 0 else 0.0,
+        "rounds": max(1, rounds),
     }
 
 
-def bench_replays(quick: bool = False, seed: int = 0) -> Dict[str, dict]:
+def bench_replays(
+    quick: bool = False, seed: int = 0, rounds: int = 1
+) -> Dict[str, dict]:
     """Canonical trace replay per protocol, timed end to end.
 
     Cells run in-process (``jobs=1``): these numbers are the
@@ -92,8 +110,15 @@ def bench_replays(quick: bool = False, seed: int = 0) -> Dict[str, dict]:
     them.  The first cell generates the trace streams; later protocols
     reuse them from the stream-plan cache exactly as an experiment row
     does, so ``wall_seconds`` is replay cost, not generation cost.
+    With ``rounds > 1`` each cell is replayed that many times and its
+    best (fastest) wall time is kept — the schedule is deterministic,
+    so rounds differ only by host noise.
     """
-    scale = 0.002 if quick else None
+    # Quick cells must still be long enough (~0.2-0.5s) that the
+    # events/s ratio the perf-gate computes is dominated by code, not
+    # by scheduler jitter — 0.002 gave ~50ms cells whose ratios swung
+    # past the gate's fail line on an otherwise healthy host.
+    scale = 0.01 if quick else None
     tasks = [
         ReplayTask(kind="trace", trace=BENCH_TRACE, protocol=protocol,
                    seed=seed, scale=scale)
@@ -102,25 +127,30 @@ def bench_replays(quick: bool = False, seed: int = 0) -> Dict[str, dict]:
     # Warm the stream-plan cache so protocol 0 is not charged for
     # generating the streams the others reuse.
     run_tasks(tasks[:1], jobs=1)
-    result = run_tasks(tasks, jobs=1)
-    replays = {}
-    for outcome in result.outcomes:
-        s = outcome.summary
-        replays[outcome.task.protocol] = {
-            "trace": BENCH_TRACE,
-            "wall_seconds": outcome.wall_time,
-            "events": s.events_processed,
-            "events_per_sec": (
-                s.events_processed / outcome.wall_time
-                if outcome.wall_time > 0 else 0.0
-            ),
-            "ops": s.total_ops,
-            "ops_per_sec": (
-                s.total_ops / outcome.wall_time
-                if outcome.wall_time > 0 else 0.0
-            ),
-            "sim_replay_time": s.replay_time,
-        }
+    replays: Dict[str, dict] = {}
+    for _ in range(max(1, rounds)):
+        result = run_tasks(tasks, jobs=1)
+        for outcome in result.outcomes:
+            s = outcome.summary
+            prev = replays.get(outcome.task.protocol)
+            if prev is not None and prev["wall_seconds"] <= outcome.wall_time:
+                continue
+            replays[outcome.task.protocol] = {
+                "trace": BENCH_TRACE,
+                "wall_seconds": outcome.wall_time,
+                "events": s.events_processed,
+                "events_per_sec": (
+                    s.events_processed / outcome.wall_time
+                    if outcome.wall_time > 0 else 0.0
+                ),
+                "ops": s.total_ops,
+                "ops_per_sec": (
+                    s.total_ops / outcome.wall_time
+                    if outcome.wall_time > 0 else 0.0
+                ),
+                "sim_replay_time": s.replay_time,
+                "rounds": max(1, rounds),
+            }
     return replays
 
 
@@ -132,11 +162,15 @@ TRACING_SAMPLE = 64
 #: direction.
 TRACING_REPEATS = 5
 
-#: Replay scale of the overhead arms.  Deliberately larger than the
-#: quick replay cells (0.002): a one-in-ten overhead budget needs each
-#: timed run to be long enough that CI scheduler jitter stays well
-#: under it.
-TRACING_SCALE_QUICK = 0.05
+#: Replay scale of the overhead arms — the same in quick and full mode.
+#: The overhead estimate is a *ratio*, not a throughput trajectory, so
+#: the scale only needs to make each timed run long enough (~3s) that
+#: scheduler jitter stays well under the overhead budget; it is
+#: deliberately larger than both the quick replay cells (0.01) and the
+#: canonical cell (0.02), whose ~1s runs are too short for a stable
+#: ratio on a noisy host.  Scale 1.0 would replay the entire
+#: multi-million-event trace ten times over.
+TRACING_SCALE = 0.05
 
 
 def bench_tracing_overhead(quick: bool = False, seed: int = 0) -> Dict[str, object]:
@@ -146,13 +180,15 @@ def bench_tracing_overhead(quick: bool = False, seed: int = 0) -> Dict[str, obje
     :class:`~repro.obs.tracer.SamplingTracer` — on identical streams
     and reports best-of-N walls plus the overhead fraction (the median
     of the per-round traced/untraced ratios).  The perf-gate enforces
-    the ≤10% always-on budget against this number.
+    the always-on overhead budget against this number.  ``quick`` is
+    accepted for call-shape symmetry with the other benches but does
+    not change the measurement: both modes use :data:`TRACING_SCALE`.
     """
     from repro.experiments.common import build_trace_cluster
     from repro.obs import SamplingTracer
     from repro.workloads import TRACE_SPECS, TraceWorkload, replay_streams
 
-    scale = TRACING_SCALE_QUICK if quick else None
+    scale = TRACING_SCALE
 
     def one_run(traced: bool) -> Dict[str, float]:
         tracer = SamplingTracer(every=TRACING_SAMPLE) if traced else None
@@ -161,7 +197,7 @@ def bench_tracing_overhead(quick: bool = False, seed: int = 0) -> Dict[str, obje
         )
         wl = TraceWorkload(
             TRACE_SPECS[BENCH_TRACE],
-            scale=scale if scale is not None else 1.0,
+            scale=scale,
             seed=seed,
         )
         streams = wl.build(cluster, cluster.all_processes())
@@ -209,13 +245,16 @@ def bench_tracing_overhead(quick: bool = False, seed: int = 0) -> Dict[str, obje
     }
 
 
-def bench_kernel(quick: bool = False, seed: int = 0) -> Dict[str, object]:
+def bench_kernel(
+    quick: bool = False, seed: int = 0, rounds: int = 1
+) -> Dict[str, object]:
     return {
         "bench": "kernel",
         "quick": quick,
+        "rounds": max(1, rounds),
         "host": _host(),
-        "event_loop": bench_event_loop(quick=quick),
-        "replays": bench_replays(quick=quick, seed=seed),
+        "event_loop": bench_event_loop(quick=quick, rounds=rounds),
+        "replays": bench_replays(quick=quick, seed=seed, rounds=rounds),
         "tracing": bench_tracing_overhead(quick=quick, seed=seed),
     }
 
@@ -336,9 +375,15 @@ def run_bench(
     quick: bool = False,
     seed: int = 0,
     out_dir: str = ".",
+    rounds: int = 3,
 ) -> Dict[str, str]:
-    """Run both benches, write the JSON artifacts, print the summary."""
-    kernel = bench_kernel(quick=quick, seed=seed)
+    """Run both benches, write the JSON artifacts, print the summary.
+
+    The kernel bench runs ``rounds`` times per cell (default 3) and
+    records the best of each — deterministic schedules mean rounds only
+    differ by host noise, so best-of is the honest trajectory number.
+    """
+    kernel = bench_kernel(quick=quick, seed=seed, rounds=rounds)
     experiments = bench_experiments(jobs=jobs, quick=quick, seed=seed)
     paths = {}
     for name, payload in ((KERNEL_FILE, kernel), (EXPERIMENTS_FILE, experiments)):

@@ -13,7 +13,20 @@ order of scheduling, so two runs with the same seeds produce identical
 histories.
 """
 
+from repro.sim import core as _core
 from repro.sim.core import Simulator, kernel_sprint
+
+#: Which kernel implementation is live.  ``"compiled"`` when
+#: ``repro.sim.core`` was built by mypyc (an extension module — its
+#: ``__file__`` is a shared object, not a ``.py``), ``"pure"`` for the
+#: interpreted fallback.  Both produce byte-identical schedules; the
+#: bench/perf-gate tooling records this so compiled and pure baselines
+#: are never compared against each other.
+KERNEL_VARIANT = (
+    "pure"
+    if (_core.__file__ or "").endswith((".py", ".pyc"))
+    else "compiled"
+)
 from repro.sim.events import (
     AllOf,
     AnyOf,
@@ -32,6 +45,7 @@ __all__ = [
     "Event",
     "EventAlreadyTriggered",
     "Interrupt",
+    "KERNEL_VARIANT",
     "Process",
     "Resource",
     "RngRegistry",

@@ -1,37 +1,69 @@
-"""The simulator: virtual clock plus an ordered event queue.
+"""The simulator: virtual clock plus a struct-of-arrays event timeline.
 
-Queue design (see DESIGN.md "Performance")
-------------------------------------------
+Timeline design (see DESIGN.md "Performance")
+---------------------------------------------
 
 Events are logically ordered by ``(time, priority, sequence)``; the
 sequence number is assigned at scheduling time, making runs fully
-reproducible for fixed RNG seeds.  Physically the queue is split so the
-dominant scheduling pattern pays no heap work at all:
+reproducible for fixed RNG seeds.  Physically the timeline is built
+around three ideas:
 
-* **Same-timestamp FIFO fast lanes.**  Most schedules are ``delay=0``
-  wakeups — an event ``succeed()``-ing, a store handing an item to a
-  getter, a process bootstrapping.  A ``delay=0`` event's sort key is
-  ``(now, priority, fresh-seq)``: it orders after every queued event at
-  the current instant of the same priority (its sequence number is the
-  largest assigned so far) and before everything at a later time
-  (pending heap entries all have ``time >= now``).  So it goes to a
-  plain deque — one per priority — and pops in FIFO order, O(1) with no
-  tuple allocation and no heap sift.  The lanes drain before the clock
-  may advance, so their entries are always stamped ``time == now``.
+* **Integer event handles over struct-of-arrays state.**  The hot
+  internal events of a replay — timeouts, store wakeups, process
+  bootstraps, message deliveries — have exactly one waiter and are
+  never referenced after they fire.  They are represented not as
+  objects but as integer *handles* indexing parallel state columns on
+  the simulator (``_ast`` state flags, ``_aval`` value/exception,
+  ``_acb`` the single waiter callback, ``_aq`` lane sequence).  A
+  handle is recycled onto a free list the moment its dispatch
+  completes, so steady-state replay allocates nothing per event: the
+  columns reach their high-water mark once and every later event reuses
+  a slot.  :class:`~repro.sim.events.Event` remains as a thin object
+  wrapper kept only at API boundaries — process returns, ``AllOf`` /
+  ``AnyOf`` conditions, RPC replies, triggers — where user code holds a
+  reference across the fire.  The heap, the same-instant FIFO lanes,
+  and the pop/dispatch loop carry both currencies and discriminate with
+  a single ``type(x) is int`` test.
 
-* **Pooled-node heap.**  Real delays (``delay > 0``) still use a binary
-  heap, but its nodes are reusable 4-slot lists drawn from a free pool
-  instead of per-event tuples; a popped node goes back to the pool, so
-  steady-state heap traffic allocates nothing.
+  (The state columns are plain Python lists rather than ``array('d')``
+  / ``array('q')``: under CPython, reading an ``array`` element boxes a
+  fresh ``float``/``int`` object per access, which benchmarks *slower*
+  than a list of already-boxed values on this loop.  A compiled build
+  unboxes list elements anyway, so lists are the right representation
+  for both variants.)
 
-The only interleaving the pop path must arbitrate is a heap entry
-whose time has *become* the current instant (scheduled earlier with a
-real delay) against lane entries scheduled later at the same instant;
-the sequence-number comparison in the pop path resolves it exactly as
-the old single-heap ordering did.  Pop order — and therefore every
-replay result — is bit-identical to the previous tuple-heap kernel
-(``tests/sim/test_queue_equivalence.py`` and the golden-replay test
-pin this).
+* **Same-timestamp FIFO fast lanes + pooled-node heap.**  Most
+  schedules are ``delay=0`` wakeups whose sort key ``(now, priority,
+  fresh-seq)`` orders after every queued event of the instant and
+  before everything later — so they go to a plain deque per priority,
+  O(1), no heap sift.  Real delays use a binary heap of reusable
+  4-slot ``[time, priority, seq, handle-or-event]`` nodes drawn from a
+  free pool.  (A hand-rolled heap over the state columns was measured
+  and rejected: interpreted sift loops lose badly to C ``heapq``, and
+  the compiled build is happy with either.)
+
+* **Batched same-instant dispatch.**  When the clock lands on an
+  instant, the run loop checks *once* whether the heap's front entry is
+  due at this instant.  If it is not, no heap entry can become due
+  before the lanes drain (``delay > 0`` schedules strictly into the
+  future), so the loop drains every ready handle of the instant in one
+  tight loop — two deque truth-tests and a dispatch per event, with the
+  heap-arbitration test, the ``until`` bound, and the clock reads all
+  hoisted out of the per-event path.  Only the rare instant where a
+  delayed event has landed on top of lane traffic pays the sequence
+  arbitration, which resolves exactly as the old single-heap ordering
+  did.
+
+Pop order — and therefore every replay result — is bit-identical to
+the previous object-per-event kernel: handles burn sequence numbers
+exactly where ``Event`` objects did, and the golden-replay suite
+(``tests/golden``) pins the complete schedule for all three bench
+protocols.
+
+This module and :mod:`repro.sim.events` are the compilation unit of
+the optional mypyc-accelerated build (``REPRO_MYPYC=1 pip install -e
+.[accel]``); ``repro.sim.KERNEL_VARIANT`` reports which variant is
+running.  Nothing here may import simulation layers above ``sim/``.
 
 Typical usage::
 
@@ -52,7 +84,7 @@ import gc
 import heapq
 from collections import deque
 from contextlib import contextmanager
-from typing import Any, Generator, Iterable, Iterator, Optional
+from typing import Any, Callable, Generator, Iterable, Iterator, Optional
 
 from repro.sim.events import (
     AllOf,
@@ -63,6 +95,11 @@ from repro.sim.events import (
 )
 from repro.sim.process import Process
 
+#: Anonymous-handle state flag bits (``_ast`` column).
+H_OK = 1        #: triggered successfully
+H_FAIL = 2      #: triggered with an exception (held in ``_aval``)
+H_DEFUSED = 4   #: failure was handled (throw delivered / defused)
+
 
 class SimulationError(RuntimeError):
     """An event failed with nobody waiting on it."""
@@ -72,11 +109,11 @@ class SimulationError(RuntimeError):
 def kernel_sprint() -> Iterator[None]:
     """Pause the cyclic garbage collector for the duration of a replay.
 
-    The kernel's hot path is allocation-heavy but cycle-free (events,
-    heap nodes, and handler frames die by refcount), so the collector's
-    periodic full-generation scans are pure overhead while a replay is
-    driving millions of events.  Pausing it is worth ~10-20% of replay
-    wall time and has no effect on simulation results.
+    The kernel's hot path is allocation-light but cycle-free (handler
+    frames and wrapper events die by refcount; handle state is pooled),
+    so the collector's periodic full-generation scans are pure overhead
+    while a replay is driving millions of events.  Pausing it is worth
+    ~10-20% of replay wall time and has no effect on simulation results.
 
     Only touches the collector if it was enabled on entry (so nested
     sprints and externally-disabled GC are safe); re-enables it and
@@ -98,24 +135,40 @@ class Simulator:
     """Deterministic discrete-event simulator.
 
     Events are processed in ``(time, priority, sequence)`` order; see
-    the module docstring for how the queue realizes that order without
-    a heap operation per event.
+    the module docstring for how the timeline realizes that order with
+    integer handles and without a heap operation per event.
     """
 
     def __init__(self) -> None:
         self._now = 0.0
-        #: Delayed events: pooled ``[time, priority, seq, event]`` nodes.
+        #: Delayed events: pooled ``[time, priority, seq, x]`` nodes,
+        #: where ``x`` is an int handle or an :class:`Event`.
         self._heap: list[list] = []
         #: Recycled heap nodes (bounded by the high-water heap size).
         self._free_nodes: list[list] = []
-        #: delay=0 fast lanes; every queued event has ``time == now``.
-        self._lane_urgent: deque[Event] = deque()
-        self._lane_normal: deque[Event] = deque()
+        #: delay=0 fast lanes; every queued entry has ``time == now``.
+        self._lane_urgent: deque = deque()
+        self._lane_normal: deque = deque()
         # Plain int counter: ``next(itertools.count())`` costs a call per
         # schedule(), which is measurable at millions of events per replay.
         self._seq = 0
-        #: number of events processed so far (diagnostics / tests)
-        self.events_processed = 0
+        # -- anonymous-handle state columns (struct-of-arrays) ----------
+        #: state flags (0 pending, else H_OK / H_FAIL / H_DEFUSED bits)
+        self._ast: list[int] = []
+        #: success value, or the failure exception when H_FAIL is set
+        self._aval: list = []
+        #: the single waiter callback (``cb(handle)``), or None
+        self._acb: list = []
+        #: lane sequence stamp (arbitration vs. heap entries due now)
+        self._aq: list[int] = []
+        #: recycled handles; popped before the columns ever grow again
+        self._afree: list[int] = []
+        # -- event accounting -------------------------------------------
+        #: events popped off the timeline and dispatched
+        self._n_dispatched = 0
+        #: extra logical events carried by batched dispatches (a batched
+        #: network delivery of N messages is one pop but N events)
+        self._n_extra = 0
 
     # -- clock ----------------------------------------------------------
 
@@ -123,6 +176,11 @@ class Simulator:
     def now(self) -> float:
         """Current virtual time in seconds."""
         return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events processed so far (diagnostics / tests)."""
+        return self._n_dispatched + self._n_extra
 
     # -- scheduling -----------------------------------------------------
 
@@ -151,6 +209,107 @@ class Simulator:
         else:
             node = [self._now + delay, priority, seq, event]
         heapq.heappush(self._heap, node)
+
+    # -- anonymous handle API ---------------------------------------------
+    #
+    # Handles are single-waiter, internal-use events: created, yielded /
+    # waited at most once, and never referenced after their dispatch (the
+    # slot is recycled the moment the dispatch completes).  They burn
+    # sequence numbers exactly like object events, so mixing the two
+    # currencies cannot perturb the schedule.
+
+    def _alloc_h(self) -> int:
+        """A fresh pending handle (recycled slots are reset on recycle)."""
+        free = self._afree
+        if free:
+            return free.pop()
+        h = len(self._ast)
+        self._ast.append(0)
+        self._aval.append(None)
+        self._acb.append(None)
+        self._aq.append(0)
+        return h
+
+    def event_h(self) -> int:
+        """A pending anonymous handle (the handle analogue of event())."""
+        return self._alloc_h()
+
+    def timeout_h(self, delay: float, value: Any = None) -> int:
+        """Handle analogue of :meth:`timeout`: fires ``delay`` from now.
+
+        Schedules exactly like ``Timeout`` (normal priority, same seq
+        burn) but allocates nothing in steady state.
+        """
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay!r}")
+        afree = self._afree
+        h = afree.pop() if afree else self._alloc_h()
+        self._ast[h] = H_OK
+        self._aval[h] = value
+        seq = self._seq
+        self._seq = seq + 1
+        if delay == 0.0:
+            self._aq[h] = seq
+            self._lane_normal.append(h)
+        else:
+            free = self._free_nodes
+            if free:
+                node = free.pop()
+                node[0] = self._now + delay
+                node[1] = 1
+                node[2] = seq
+                node[3] = h
+            else:
+                node = [self._now + delay, 1, seq, h]
+            heapq.heappush(self._heap, node)
+        return h
+
+    def succeed_h(self, h: int, value: Any = None) -> None:
+        """Trigger pending handle ``h`` successfully (delay=0 lane)."""
+        self._ast[h] = H_OK
+        self._aval[h] = value
+        seq = self._seq
+        self._seq = seq + 1
+        self._aq[h] = seq
+        self._lane_normal.append(h)
+
+    def fail_h(self, h: int, exc: BaseException, defused: bool = False) -> None:
+        """Trigger pending handle ``h`` with an exception (delay=0 lane)."""
+        self._ast[h] = (H_FAIL | H_DEFUSED) if defused else H_FAIL
+        self._aval[h] = exc
+        seq = self._seq
+        self._seq = seq + 1
+        self._aq[h] = seq
+        self._lane_normal.append(h)
+
+    def init_h(self, callback: Callable[[int], None]) -> int:
+        """An urgent already-succeeded handle with ``callback`` attached.
+
+        The handle analogue of a process-bootstrap event: it dispatches
+        at the current instant ahead of normal-priority traffic.
+        """
+        h = self._alloc_h()
+        self._ast[h] = H_OK
+        self._acb[h] = callback
+        seq = self._seq
+        self._seq = seq + 1
+        self._aq[h] = seq
+        self._lane_urgent.append(h)
+        return h
+
+    def value_h(self, h: int) -> Any:
+        """The value (or failure exception) of a triggered handle."""
+        return self._aval[h]
+
+    def count_extra_events(self, n: int) -> None:
+        """Account ``n`` extra logical events carried by one dispatch.
+
+        Batched dispatch paths (the network's delivery fan-out) pop one
+        timeline entry for N logical events; they report the other
+        ``N - 1`` here so ``events_processed`` stays comparable with the
+        unbatched kernel (and with the committed golden counts).
+        """
+        self._n_extra += n
 
     # -- event factories --------------------------------------------------
 
@@ -182,11 +341,16 @@ class Simulator:
             return self._now  # lane entries are due at the current instant
         return self._heap[0][0] if self._heap else float("inf")
 
-    def _pop_next(self) -> Event:
-        """Remove and return the next event in (time, priority, seq) order.
+    def _lane_front_qseq(self, x: Any) -> int:
+        """Lane-front sequence stamp for heap arbitration."""
+        return self._aq[x] if type(x) is int else x._qseq
 
-        Advances the clock when the winner comes off the heap at a later
-        time.  Raises :class:`IndexError` when the queue is empty.
+    def _pop_next(self) -> Any:
+        """Remove and return the next entry in (time, priority, seq) order.
+
+        Returns an int handle or an :class:`Event`.  Advances the clock
+        when the winner comes off the heap at a later time.  Raises
+        :class:`IndexError` when the queue is empty.
         """
         heap = self._heap
         lane = self._lane_urgent
@@ -195,11 +359,12 @@ class Simulator:
                 h = heap[0]
                 # An urgent heap entry due now that was scheduled before
                 # the lane's front pops first.
-                if h[0] == self._now and h[1] == 0 and h[2] < lane[0]._qseq:
-                    ev = h[3]
+                if (h[0] == self._now and h[1] == 0
+                        and h[2] < self._lane_front_qseq(lane[0])):
+                    x = h[3]
                     h[3] = None
                     self._free_nodes.append(heapq.heappop(heap))
-                    return ev
+                    return x
             return lane.popleft()
         lane = self._lane_normal
         if lane:
@@ -207,33 +372,55 @@ class Simulator:
                 h = heap[0]
                 # Urgent beats normal at the same instant regardless of
                 # sequence; equal priority falls back to schedule order.
-                if h[0] == self._now and (h[1] == 0 or h[2] < lane[0]._qseq):
-                    ev = h[3]
+                if (h[0] == self._now
+                        and (h[1] == 0
+                             or h[2] < self._lane_front_qseq(lane[0]))):
+                    x = h[3]
                     h[3] = None
                     self._free_nodes.append(heapq.heappop(heap))
-                    return ev
+                    return x
             return lane.popleft()
         node = heapq.heappop(heap)
         self._now = node[0]
-        ev = node[3]
+        x = node[3]
         node[3] = None
         self._free_nodes.append(node)
-        return ev
+        return x
+
+    def _dispatch(self, x: Any) -> None:
+        """Run one popped entry's callbacks; recycle handles."""
+        if type(x) is int:
+            ast = self._ast
+            cb = self._acb[x]
+            if cb is not None:
+                self._acb[x] = None
+                cb(x)
+            st = ast[x]
+            if st & 6 == 2:  # failed and nobody defused it
+                exc = self._aval[x]
+                raise SimulationError(
+                    f"unhandled failure of handle {x} at "
+                    f"t={self._now:.6f}: {exc!r}"
+                ) from exc
+            ast[x] = 0
+            self._aval[x] = None
+            self._afree.append(x)
+            return
+        callbacks = x.callbacks
+        x.callbacks = None  # mark processed
+        for cb in callbacks:
+            cb(x)
+        if x._ok is False and not x._defused:
+            exc = x._exc
+            raise SimulationError(
+                f"unhandled failure of {x!r} at t={self._now:.6f}: {exc!r}"
+            ) from exc
 
     def step(self) -> None:
         """Process exactly one event."""
-        event = self._pop_next()
-        callbacks = event.callbacks
-        event.callbacks = None  # mark processed
-        self.events_processed += 1
-        assert callbacks is not None
-        for cb in callbacks:
-            cb(event)
-        if event._ok is False and not event._defused:
-            exc = event._exc
-            raise SimulationError(
-                f"unhandled failure of {event!r} at t={self._now:.6f}: {exc!r}"
-            ) from exc
+        x = self._pop_next()
+        self._n_dispatched += 1
+        self._dispatch(x)
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue drains, or until virtual time ``until``.
@@ -241,10 +428,11 @@ class Simulator:
         With ``until`` given, the clock is advanced to exactly ``until``
         even if the queue drains early, so periodic measurements line up.
 
-        The body of :meth:`step` (and :meth:`_pop_next`) is inlined here
-        and in :meth:`run_until`: at hundreds of thousands of events per
-        replay, the per-event method call and attribute lookups are a
-        measurable share of the whole run.
+        The pop + dispatch machinery is inlined here and in
+        :meth:`run_until`: at hundreds of thousands of events per
+        replay, per-event method calls and attribute lookups are a
+        measurable share of the whole run.  Each instant is drained in
+        a batched tight loop — see the module docstring.
         """
         if until is not None and until < self._now:
             raise ValueError(f"until={until!r} is in the past (now={self._now!r})")
@@ -253,57 +441,114 @@ class Simulator:
         lane_n = self._lane_normal
         free = self._free_nodes
         pop = heapq.heappop
+        ast = self._ast
+        aval = self._aval
+        acb = self._acb
+        afree = self._afree
         # The event counter lives in a local inside the loop (an attribute
         # store per event is measurable); the finally block publishes it
         # even when a callback raises.
-        processed = self.events_processed
+        n = 0
         try:
             while True:
-                if lane_u:
-                    event = None
-                    if heap:
-                        h = heap[0]
-                        if h[0] == self._now and h[1] == 0 and h[2] < lane_u[0]._qseq:
-                            event = h[3]
-                            h[3] = None
-                            free.append(pop(heap))
-                    if event is None:
-                        event = lane_u.popleft()
-                elif lane_n:
-                    event = None
-                    if heap:
-                        h = heap[0]
-                        if h[0] == self._now and (h[1] == 0 or h[2] < lane_n[0]._qseq):
-                            event = h[3]
-                            h[3] = None
-                            free.append(pop(heap))
-                    if event is None:
-                        event = lane_n.popleft()
+                if lane_u or lane_n:
+                    if not heap or heap[0][0] > self._now:
+                        # Batched instant drain: no heap entry is due at
+                        # this instant, and none can become due before
+                        # the lanes empty (delay>0 schedules strictly
+                        # later) — so dispatch lane traffic back-to-back
+                        # with no heap or clock checks per event.
+                        while True:
+                            if lane_u:
+                                x = lane_u.popleft()
+                            elif lane_n:
+                                x = lane_n.popleft()
+                            else:
+                                break
+                            n += 1
+                            if type(x) is int:
+                                cb = acb[x]
+                                if cb is not None:
+                                    acb[x] = None
+                                    cb(x)
+                                st = ast[x]
+                                if st & 6 == 2:
+                                    self._n_dispatched += n
+                                    n = 0
+                                    exc = aval[x]
+                                    raise SimulationError(
+                                        f"unhandled failure of handle {x} at "
+                                        f"t={self._now:.6f}: {exc!r}"
+                                    ) from exc
+                                ast[x] = 0
+                                aval[x] = None
+                                afree.append(x)
+                            else:
+                                callbacks = x.callbacks
+                                x.callbacks = None  # mark processed
+                                if len(callbacks) == 1:
+                                    callbacks[0](x)
+                                else:
+                                    for cb in callbacks:
+                                        cb(x)
+                                if x._ok is False and not x._defused:
+                                    self._n_dispatched += n
+                                    n = 0
+                                    exc = x._exc
+                                    raise SimulationError(
+                                        f"unhandled failure of {x!r} at "
+                                        f"t={self._now:.6f}: {exc!r}"
+                                    ) from exc
+                        continue
+                    # Rare: a delayed event landed on this instant while
+                    # lane traffic is queued — arbitrate per event.
+                    x = self._pop_next()
                 elif heap:
                     if until is not None and heap[0][0] > until:
                         break
                     node = pop(heap)
                     self._now = node[0]
-                    event = node[3]
+                    x = node[3]
                     node[3] = None
                     free.append(node)
                 else:
                     break
-                callbacks = event.callbacks
-                event.callbacks = None  # mark processed
-                processed += 1
-                if len(callbacks) == 1:  # type: ignore[arg-type]
-                    callbacks[0](event)  # type: ignore[index]
+                n += 1
+                if type(x) is int:
+                    cb = acb[x]
+                    if cb is not None:
+                        acb[x] = None
+                        cb(x)
+                    st = ast[x]
+                    if st & 6 == 2:
+                        self._n_dispatched += n
+                        n = 0
+                        exc = aval[x]
+                        raise SimulationError(
+                            f"unhandled failure of handle {x} at "
+                            f"t={self._now:.6f}: {exc!r}"
+                        ) from exc
+                    ast[x] = 0
+                    aval[x] = None
+                    afree.append(x)
                 else:
-                    for cb in callbacks:  # type: ignore[union-attr]
-                        cb(event)
-                if event._ok is False and not event._defused:
-                    exc = event._exc
-                    raise SimulationError(
-                        f"unhandled failure of {event!r} at t={self._now:.6f}: {exc!r}"
-                    ) from exc
+                    callbacks = x.callbacks
+                    x.callbacks = None  # mark processed
+                    if len(callbacks) == 1:
+                        callbacks[0](x)
+                    else:
+                        for cb in callbacks:
+                            cb(x)
+                    if x._ok is False and not x._defused:
+                        self._n_dispatched += n
+                        n = 0
+                        exc = x._exc
+                        raise SimulationError(
+                            f"unhandled failure of {x!r} at "
+                            f"t={self._now:.6f}: {exc!r}"
+                        ) from exc
         finally:
-            self.events_processed = processed
+            self._n_dispatched += n
         if until is not None:
             self._now = until
 
@@ -322,54 +567,106 @@ class Simulator:
         lane_n = self._lane_normal
         free = self._free_nodes
         pop = heapq.heappop
-        processed = self.events_processed
+        ast = self._ast
+        aval = self._aval
+        acb = self._acb
+        afree = self._afree
+        n = 0
         try:
             while event.callbacks is not None:  # not yet processed
-                if lane_u:
-                    popped = None
-                    if heap:
-                        h = heap[0]
-                        if h[0] == self._now and h[1] == 0 and h[2] < lane_u[0]._qseq:
-                            popped = h[3]
-                            h[3] = None
-                            free.append(pop(heap))
-                    if popped is None:
-                        popped = lane_u.popleft()
-                elif lane_n:
-                    popped = None
-                    if heap:
-                        h = heap[0]
-                        if h[0] == self._now and (h[1] == 0 or h[2] < lane_n[0]._qseq):
-                            popped = h[3]
-                            h[3] = None
-                            free.append(pop(heap))
-                    if popped is None:
-                        popped = lane_n.popleft()
+                if lane_u or lane_n:
+                    if not heap or heap[0][0] > self._now:
+                        # Batched instant drain (see run()); additionally
+                        # bounded by the waited-on event completing.
+                        while event.callbacks is not None:
+                            if lane_u:
+                                x = lane_u.popleft()
+                            elif lane_n:
+                                x = lane_n.popleft()
+                            else:
+                                break
+                            n += 1
+                            if type(x) is int:
+                                cb = acb[x]
+                                if cb is not None:
+                                    acb[x] = None
+                                    cb(x)
+                                st = ast[x]
+                                if st & 6 == 2:
+                                    self._n_dispatched += n
+                                    n = 0
+                                    exc = aval[x]
+                                    raise SimulationError(
+                                        f"unhandled failure of handle {x} at "
+                                        f"t={self._now:.6f}: {exc!r}"
+                                    ) from exc
+                                ast[x] = 0
+                                aval[x] = None
+                                afree.append(x)
+                            else:
+                                callbacks = x.callbacks
+                                x.callbacks = None  # mark processed
+                                if len(callbacks) == 1:
+                                    callbacks[0](x)
+                                else:
+                                    for cb in callbacks:
+                                        cb(x)
+                                if x._ok is False and not x._defused:
+                                    self._n_dispatched += n
+                                    n = 0
+                                    exc = x._exc
+                                    raise SimulationError(
+                                        f"unhandled failure of {x!r} at "
+                                        f"t={self._now:.6f}: {exc!r}"
+                                    ) from exc
+                        continue
+                    x = self._pop_next()
                 elif heap:
                     node = pop(heap)
                     self._now = node[0]
-                    popped = node[3]
+                    x = node[3]
                     node[3] = None
                     free.append(node)
                 else:
                     raise SimulationError(
                         f"queue drained before {event!r} was processed"
                     )
-                callbacks = popped.callbacks
-                popped.callbacks = None  # mark processed
-                processed += 1
-                if len(callbacks) == 1:  # type: ignore[arg-type]
-                    callbacks[0](popped)  # type: ignore[index]
+                n += 1
+                if type(x) is int:
+                    cb = acb[x]
+                    if cb is not None:
+                        acb[x] = None
+                        cb(x)
+                    st = ast[x]
+                    if st & 6 == 2:
+                        self._n_dispatched += n
+                        n = 0
+                        exc = aval[x]
+                        raise SimulationError(
+                            f"unhandled failure of handle {x} at "
+                            f"t={self._now:.6f}: {exc!r}"
+                        ) from exc
+                    ast[x] = 0
+                    aval[x] = None
+                    afree.append(x)
                 else:
-                    for cb in callbacks:  # type: ignore[union-attr]
-                        cb(popped)
-                if popped._ok is False and not popped._defused:
-                    exc = popped._exc
-                    raise SimulationError(
-                        f"unhandled failure of {popped!r} at t={self._now:.6f}: {exc!r}"
-                    ) from exc
+                    callbacks = x.callbacks
+                    x.callbacks = None  # mark processed
+                    if len(callbacks) == 1:
+                        callbacks[0](x)
+                    else:
+                        for cb in callbacks:
+                            cb(x)
+                    if x._ok is False and not x._defused:
+                        self._n_dispatched += n
+                        n = 0
+                        exc = x._exc
+                        raise SimulationError(
+                            f"unhandled failure of {x!r} at "
+                            f"t={self._now:.6f}: {exc!r}"
+                        ) from exc
         finally:
-            self.events_processed = processed
+            self._n_dispatched += n
         if event._ok is False:
             event.defuse()
             raise event._exc  # type: ignore[misc]

@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Generator, Optional
+from typing import TYPE_CHECKING, Any, Generator, Optional, Union
 
-from repro.sim.events import Event, Interrupt, PRIORITY_URGENT
+from repro.sim.events import Event, Interrupt
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.core import Simulator
@@ -13,15 +13,17 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class Process(Event):
     """A running activity wrapping a Python generator.
 
-    The generator advances by yielding :class:`Event` objects; it is
-    resumed with the event's value once the event is processed, or has
-    the event's exception thrown into it if the event failed.  The
-    process itself *is* an event: it triggers when the generator
-    returns (success, with the generator's return value) or raises
-    (failure), so processes can wait on each other by yielding them.
+    The generator advances by yielding :class:`Event` objects — or raw
+    integer event handles from the simulator's anonymous-handle API
+    (``timeout_h``, ``Store.get_h``) — and is resumed with the event's
+    value once the event is processed, or has the event's exception
+    thrown into it if the event failed.  The process itself *is* an
+    event: it triggers when the generator returns (success, with the
+    generator's return value) or raises (failure), so processes can
+    wait on each other by yielding them.
     """
 
-    __slots__ = ("_gen", "_target", "name")
+    __slots__ = ("_gen", "_target", "name", "_resume_cb")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -29,15 +31,18 @@ class Process(Event):
         super().__init__(sim)
         self._gen = generator
         self.name = name or getattr(generator, "__name__", "process")
-        #: The event this process is currently waiting on (None when running).
-        self._target: Optional[Event] = None
+        #: The event or handle this process is waiting on (None when running).
+        self._target: Optional[Union[Event, int]] = None
+        #: ``self._resume`` bound exactly once: handle waiter slots are
+        #: detached by identity (``acb[h] is self._resume_cb``), which
+        #: only works with a stable bound-method object — and it saves
+        #: allocating one per yield on the resume hot path.
+        self._resume_cb = self._resume
         # Bootstrap: resume the generator at the current instant, but via
-        # the queue so that process startup is ordered like everything else.
-        init = Event(sim)
-        init._ok = True
-        init._value = None
-        init.callbacks.append(self._resume)  # type: ignore[union-attr]
-        sim.schedule(init, priority=PRIORITY_URGENT)
+        # the queue so that process startup is ordered like everything
+        # else.  An anonymous urgent handle — the bootstrap event is
+        # internal and single-shot, so it needs no object.
+        sim.init_h(self._resume_cb)
 
     @property
     def is_alive(self) -> bool:
@@ -58,31 +63,47 @@ class Process(Event):
         ev._exc = Interrupt(cause)
         ev._defused = True  # the throw below is the handling
         ev.callbacks.append(self._resume_interrupt)  # type: ignore[union-attr]
-        self.sim.schedule(ev, priority=PRIORITY_URGENT)
+        self.sim.schedule(ev, priority=0)
 
     # -- internals -------------------------------------------------------
 
     def _resume_interrupt(self, event: Event) -> None:
         if self.triggered:
             return  # finished between scheduling and delivery
-        if self._target is not None and self._target.callbacks is not None:
-            try:
-                self._target.callbacks.remove(self._resume)
-            except ValueError:  # pragma: no cover - defensive
-                pass
+        target = self._target
+        if target is not None:
+            if type(target) is int:
+                # Anonymous handle: drop the waiter slot so the stale
+                # wakeup (if it ever fires) dispatches into nothing.
+                if self.sim._acb[target] is self._resume_cb:
+                    self.sim._acb[target] = None
+            elif target.callbacks is not None:
+                try:
+                    target.callbacks.remove(self._resume_cb)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
         self._target = None
         self._resume(event)
 
-    def _resume(self, event: Event) -> None:
+    def _resume(self, event: Union[Event, int]) -> None:
         """Advance the generator with the outcome of ``event``."""
         self._target = None
+        sim = self.sim
+        gen = self._gen
         while True:
             try:
-                if event._ok:
-                    target = self._gen.send(event._value)
+                if type(event) is int:
+                    st = sim._ast[event]
+                    if st & 2:  # H_FAIL
+                        sim._ast[event] = st | 4  # the throw is the handling
+                        target = gen.throw(sim._aval[event])
+                    else:
+                        target = gen.send(sim._aval[event])
+                elif event._ok:
+                    target = gen.send(event._value)
                 else:
                     event._defused = True
-                    target = self._gen.throw(event._exc)  # type: ignore[arg-type]
+                    target = gen.throw(event._exc)  # type: ignore[arg-type]
             except StopIteration as stop:
                 self.succeed(stop.value)
                 return
@@ -90,12 +111,21 @@ class Process(Event):
                 self.fail(exc)
                 return
 
+            if type(target) is int:
+                # Anonymous handle: single-waiter by contract, and never
+                # already-processed (handles recycle at dispatch, so a
+                # live handle a generator can yield is always queued or
+                # pending).
+                sim._acb[target] = self._resume_cb
+                self._target = target
+                return
+
             if not isinstance(target, Event):
                 error = TypeError(
                     f"process {self.name!r} yielded non-event {target!r}"
                 )
                 try:
-                    self._gen.throw(error)
+                    gen.throw(error)
                 except StopIteration:
                     self.succeed(None)
                 except BaseException as exc:
@@ -106,6 +136,6 @@ class Process(Event):
                 # Already-processed event: resume immediately (same instant).
                 event = target
                 continue
-            target.callbacks.append(self._resume)  # type: ignore[union-attr]
+            target.callbacks.append(self._resume_cb)  # type: ignore[union-attr]
             self._target = target
             return

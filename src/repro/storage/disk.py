@@ -18,20 +18,39 @@ from repro.params import SimParams
 from repro.sim import Event, Simulator, Store
 
 
-@dataclass(frozen=True)
 class Extent:
-    """A contiguous byte range on disk."""
+    """A contiguous byte range on disk.
 
-    offset: int
-    nbytes: int
+    A hand-written ``__slots__`` value class rather than a frozen
+    dataclass: replays build one per KV row and per WAL flush, and the
+    frozen-dataclass ``__init__`` (``object.__setattr__`` per field plus
+    ``__post_init__``) costs several times this constructor.
+    """
 
-    def __post_init__(self) -> None:
-        if self.offset < 0 or self.nbytes <= 0:
-            raise ValueError(f"bad extent {self!r}")
+    __slots__ = ("offset", "nbytes")
+
+    def __init__(self, offset: int, nbytes: int) -> None:
+        if offset < 0 or nbytes <= 0:
+            raise ValueError(f"bad extent Extent({offset}, {nbytes})")
+        self.offset = offset
+        self.nbytes = nbytes
 
     @property
     def end(self) -> int:
         return self.offset + self.nbytes
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(other) is Extent
+            and self.offset == other.offset
+            and self.nbytes == other.nbytes
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.offset, self.nbytes))
+
+    def __repr__(self) -> str:
+        return f"Extent(offset={self.offset}, nbytes={self.nbytes})"
 
 
 @dataclass
@@ -90,6 +109,20 @@ class Disk:
         self._queue.put((list(extents), write, done))
         return done
 
+    def submit_h(self, extents: Sequence[Extent], write: bool = True) -> int:
+        """Handle analogue of :meth:`submit` for single-waiter callers.
+
+        The returned anonymous handle must be yielded before it fires
+        and never referenced after; callers that attach completion
+        callbacks (the KV store's durability hooks) must keep using
+        :meth:`submit`.
+        """
+        if not extents:
+            raise ValueError("empty IO request")
+        done = self.sim._alloc_h()
+        self._queue.put((list(extents), write, done))
+        return done
+
     def queue_depth(self) -> int:
         return len(self._queue)
 
@@ -110,7 +143,7 @@ class Disk:
 
     def _service_loop(self):
         while True:
-            extents, write, done = yield self._queue.get()
+            extents, write, done = yield self._queue.get_h()
             duration = 0.0
             for ext in extents:
                 if abs(ext.offset - self.head) <= self.ADJACENCY:
@@ -128,6 +161,10 @@ class Disk:
                     self.stats.bytes_read += ext.nbytes
             self.stats.requests += 1
             self.stats.busy_time += duration
-            yield self.sim.timeout(duration)
-            if not done.triggered:
+            yield self.sim.timeout_h(duration)
+            if type(done) is int:
+                # submit_h handles are pending (state 0) until fired.
+                if self.sim._ast[done] == 0:
+                    self.sim.succeed_h(done)
+            elif not done.triggered:
                 done.succeed()

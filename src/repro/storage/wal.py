@@ -25,7 +25,6 @@ Recovery re-reads the valid region sequentially (see
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.obs.tracer import NULL_TRACER, Tracer
@@ -37,22 +36,55 @@ from repro.storage.disk import Disk, Extent
 OpId = Tuple[int, int, int]
 
 
-@dataclass
 class LogRecord:
-    """One record in the operation log."""
+    """One record in the operation log.
 
-    op_id: OpId
-    rtype: str
-    payload: Dict[str, Any] = field(default_factory=dict)
-    size: int = 128
-    #: Invalidated records no longer count as valid but remain on disk
-    #: until pruning (Cx invalidates Result-Records of re-ordered
-    #: sub-ops during disordered-conflict handling).
-    invalid: bool = False
-    #: True for records drawn from a WAL's recycling pool (see
-    #: :meth:`WriteAheadLog.commit_record`); excluded from comparisons
-    #: so pooled and fresh records stay interchangeable.
-    _pooled: bool = field(default=False, compare=False, repr=False)
+    ``__slots__`` class (not a dataclass): one is built per executed
+    sub-op on the result-record path.
+    """
+
+    __slots__ = ("op_id", "rtype", "payload", "size", "invalid", "_pooled")
+
+    def __init__(
+        self,
+        op_id: OpId,
+        rtype: str,
+        payload: Optional[Dict[str, Any]] = None,
+        size: int = 128,
+        invalid: bool = False,
+        _pooled: bool = False,
+    ) -> None:
+        self.op_id = op_id
+        self.rtype = rtype
+        self.payload = {} if payload is None else payload
+        self.size = size
+        #: Invalidated records no longer count as valid but remain on
+        #: disk until pruning (Cx invalidates Result-Records of
+        #: re-ordered sub-ops during disordered-conflict handling).
+        self.invalid = invalid
+        #: True for records drawn from a WAL's recycling pool (see
+        #: :meth:`WriteAheadLog.commit_record`); excluded from
+        #: comparisons so pooled and fresh records stay interchangeable.
+        self._pooled = _pooled
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(other) is LogRecord
+            and self.op_id == other.op_id
+            and self.rtype == other.rtype
+            and self.payload == other.payload
+            and self.size == other.size
+            and self.invalid == other.invalid
+        )
+
+    __hash__ = None  # type: ignore[assignment]  # mutable, like the dataclass
+
+    def __repr__(self) -> str:
+        return (
+            f"LogRecord(op_id={self.op_id!r}, rtype={self.rtype!r}, "
+            f"payload={self.payload!r}, size={self.size!r}, "
+            f"invalid={self.invalid!r})"
+        )
 
 
 class WriteAheadLog:
@@ -83,7 +115,9 @@ class WriteAheadLog:
         self._flush_queue: Store = Store(sim)
         #: Records admitted but not yet durable (lost on crash).
         self._unflushed: List[LogRecord] = []
-        self._space_waiters: Deque[Tuple[LogRecord, Event]] = deque()
+        #: (record, done) pairs blocked on log space; ``done`` is an
+        #: Event from :meth:`append` or an int handle from :meth:`append_h`.
+        self._space_waiters: Deque[Tuple[LogRecord, Any]] = deque()
         #: Hook invoked (once per blocking append) when the log is full;
         #: the Cx server uses it to launch an urgent pruning commitment.
         self.on_full: Optional[Callable[[], None]] = None
@@ -159,6 +193,22 @@ class WriteAheadLog:
         enables pruning — blocking them would deadlock a full log.
         """
         done = Event(self.sim)
+        self._append(record, done, urgent)
+        return done
+
+    def append_h(self, record: LogRecord, urgent: bool = False) -> int:
+        """Handle analogue of :meth:`append` for callers that yield it.
+
+        Returns an anonymous event handle instead of an :class:`Event`;
+        the contract is the usual one — single waiter, yielded before it
+        fires, never referenced after.  Aggregation (``all_of`` over a
+        batch of commitment appends) must keep using :meth:`append`.
+        """
+        done = self.sim._alloc_h()
+        self._append(record, done, urgent)
+        return done
+
+    def _append(self, record: LogRecord, done, urgent: bool) -> None:
         if (not urgent and self.capacity is not None
                 and self.valid_bytes + record.size > self.capacity):
             self.blocked_appends += 1
@@ -173,12 +223,17 @@ class WriteAheadLog:
             self._space_waiters.append((record, done))
             if self.on_full is not None:
                 self.on_full()
-            return done
+            return
         self._admit(record, done)
-        return done
 
-    def _admit(self, record: LogRecord, done: Event) -> None:
-        self._index.setdefault(record.op_id, []).append(record)
+    def _admit(self, record: LogRecord, done) -> None:
+        # dict.get over setdefault: setdefault builds a throwaway empty
+        # list on every call, and appends dominate the WAL's profile.
+        recs = self._index.get(record.op_id)
+        if recs is None:
+            self._index[record.op_id] = [record]
+        else:
+            recs.append(record)
         self.valid_bytes += record.size
         self.appends += 1
         if self.metrics is not None:
@@ -289,12 +344,18 @@ class WriteAheadLog:
     # -- flusher ---------------------------------------------------------------
 
     def _flush_loop(self):
+        queue = self._flush_queue
+        value_h = self.sim.value_h
         while True:
-            first = yield self._flush_queue.get()
+            first = yield queue.get_h()
             batch = [first]
-            while len(self._flush_queue):
-                batch.append(self._flush_queue.get().value)
-            nbytes = sum(rec.size for rec, _done in batch)
+            while len(queue):
+                # get_h on a non-empty store succeeds synchronously, so
+                # the value is readable before the handle dispatches.
+                batch.append(value_h(queue.get_h()))
+            nbytes = 0
+            for rec, _done in batch:
+                nbytes += rec.size
             extent = Extent(self._tail, nbytes)
             self._tail += nbytes
             # A sync span is kept only when the batch carries a sampled
@@ -311,7 +372,7 @@ class WriteAheadLog:
                 )
                 else None
             )
-            yield self.disk.submit([extent], write=True)
+            yield self.disk.submit_h([extent], write=True)
             self.flushes += 1
             if sync_span is not None:
                 sync_span.end()
@@ -323,13 +384,19 @@ class WriteAheadLog:
                         self.metrics.histogram("wal.sync_bytes"),
                         self.metrics.histogram("wal.sync_records"),
                     )
-                m[0].inc()
+                m[0].value += 1  # Counter.inc, inlined (per-flush path)
                 m[1].observe(nbytes)
                 m[2].observe(len(batch))
+            ast = self.sim._ast
+            succeed_h = self.sim.succeed_h
             for rec, done in batch:
                 try:
                     self._unflushed.remove(rec)
                 except ValueError:
                     pass  # dropped by a crash while we were writing
-                if not done.triggered:
+                if type(done) is int:
+                    # append_h handles: pending (state 0) until fired.
+                    if ast[done] == 0:
+                        succeed_h(done)
+                elif not done.triggered:
                     done.succeed()

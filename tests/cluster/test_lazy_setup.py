@@ -1,0 +1,95 @@
+"""Lazy server construction: setup cost follows servers *touched*.
+
+The ROADMAP's scale sweeps build clusters of hundreds of servers whose
+workloads contact only a handful; ``Cluster.build(lazy_servers=True)``
+defers each :class:`MetadataServer` (disk, KV store, WAL, service
+processes) to its first touch — index access, preload, or the first
+message addressed to it.
+"""
+
+from repro import Cluster, SimParams
+from repro.cluster.builder import ROOT_HANDLE, LazyServerList
+from repro.fs.ops import FileOperation, OpType
+from repro.protocols import get_protocol
+from tests.conftest import run_to_completion
+
+
+def _lazy_cluster(num_servers: int, **kw) -> Cluster:
+    return Cluster.build(
+        num_servers=num_servers,
+        num_clients=1,
+        protocol=get_protocol("cx"),
+        params=SimParams(commit_timeout=0.05),
+        seed=1,
+        lazy_servers=True,
+        **kw,
+    )
+
+
+class TestLazySetup:
+    def test_build_constructs_no_servers(self):
+        cluster = _lazy_cluster(64)
+        assert isinstance(cluster.servers, LazyServerList)
+        assert len(cluster.servers) == 64
+        assert cluster.servers.materialized == 0
+        # Only the client machine is on the network so far.
+        assert all(not n.startswith("mds") for n in cluster.network.nodes)
+
+    def test_setup_cost_independent_of_server_count(self):
+        small = _lazy_cluster(8)
+        large = _lazy_cluster(256)
+        assert small.servers.materialized == large.servers.materialized == 0
+        # Touching one index builds exactly one server either way.
+        small.servers[3]
+        large.servers[3]
+        assert small.servers.materialized == large.servers.materialized == 1
+
+    def test_index_access_materializes_once(self):
+        cluster = _lazy_cluster(16)
+        s = cluster.servers[5]
+        assert cluster.servers[5] is s
+        assert cluster.servers[-11] is s
+        assert cluster.servers.materialized == 1
+        assert s.role is not None  # fully wired, not just constructed
+
+    def test_ops_touch_only_their_servers(self):
+        cluster = _lazy_cluster(32)
+        d = cluster.preload_dir(ROOT_HANDLE, "dir")
+        h = cluster.preload_file(d, "f")
+        after_preload = cluster.servers.materialized
+        # At most four distinct homes: the dir's entry and inode, the
+        # file's entry and inode.
+        assert after_preload <= 4
+        proc = cluster.client_process(0, 0)
+        op = FileOperation(OpType.STAT, proc.new_op_id(), target=h)
+        runner = cluster.run_ops(proc, [op])
+        results = run_to_completion(cluster, runner)
+        assert results[0].ok
+        # The stat contacted the inode's home server; nothing forced the
+        # other ~30 servers into existence.
+        assert cluster.servers.materialized <= after_preload + 1
+        assert cluster.servers.materialized < 8
+
+    def test_first_message_materializes_destination(self):
+        cluster = _lazy_cluster(4)
+        client = cluster.clients[0]
+        assert cluster.servers.materialized == 0
+        from repro.net.message import MessageKind
+
+        client.send(cluster.server_id(2), MessageKind.PING, {})
+        assert cluster.servers.materialized == 1
+        assert "mds2" in cluster.network.nodes
+
+    def test_iteration_materializes_all(self):
+        cluster = _lazy_cluster(6)
+        roles = [s.role for s in cluster.servers]
+        assert len(roles) == 6 and all(r is not None for r in roles)
+        assert cluster.servers.materialized == 6
+
+    def test_eager_default_unchanged(self):
+        cluster = Cluster.build(
+            num_servers=4, num_clients=1, protocol=get_protocol("cx"),
+            params=SimParams(commit_timeout=0.05), seed=1,
+        )
+        assert isinstance(cluster.servers, list)
+        assert len(cluster.network.nodes) == 5  # 4 servers + 1 client

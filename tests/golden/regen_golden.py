@@ -23,6 +23,14 @@ GOLDEN_FILE = pathlib.Path(__file__).parent / "replay_golden.json"
 CELLS = {
     "fig5_CTH_cx": ReplayTask(kind="trace", trace="CTH", protocol="cx",
                               seed=0),
+    # The other two bench protocols on the same trace, so the golden
+    # suite pins byte-identical schedules for every protocol the perf
+    # gate times (a kernel refactor that only preserved the Cx path
+    # would slip through a cx-only suite).
+    "fig5_CTH_ofs": ReplayTask(kind="trace", trace="CTH", protocol="ofs",
+                               seed=0),
+    "fig5_CTH_ofs-batched": ReplayTask(kind="trace", trace="CTH",
+                                       protocol="ofs-batched", seed=0),
     "fig8_home2_cx_inject0.12": ReplayTask(kind="inject", trace="home2",
                                            protocol="cx", seed=0,
                                            p_inject=0.12),

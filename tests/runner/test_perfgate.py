@@ -29,11 +29,11 @@ def test_compare_all_pass():
 
 def test_compare_warn_and_fail_thresholds():
     base = _payload(100_000.0, {"cx": 100_000.0, "ofs": 100_000.0})
-    fresh = _payload(85_000.0, {"cx": 60_000.0, "ofs": 95_000.0})
+    fresh = _payload(85_000.0, {"cx": 55_000.0, "ofs": 95_000.0})
     report = compare(base, fresh)
     by_key = {r.key: r.status for r in report.rows}
     assert by_key["event_loop"] == "warn"       # 0.85x
-    assert by_key["replay/CTH/cx"] == "fail"    # 0.60x
+    assert by_key["replay/CTH/cx"] == "fail"    # 0.55x
     assert by_key["replay/CTH/ofs"] == "pass"   # 0.95x
     assert report.failed
 
@@ -100,3 +100,54 @@ def test_profile_experiment_replay_cell(tmp_path):
     payload = json.loads(json_file.read_text())
     assert payload["experiment"] == "fig5"
     assert payload["hotspots"]
+
+
+def test_kernel_variant_of_defaults_to_pure():
+    from repro.runner.perfgate import kernel_variant_of
+
+    assert kernel_variant_of({}) == "pure"
+    assert kernel_variant_of({"host": {}}) == "pure"
+    assert kernel_variant_of({"host": {"kernel_variant": "compiled"}}) == "compiled"
+
+
+def test_run_perf_gate_refuses_variant_mismatch(tmp_path, monkeypatch, capsys):
+    """A compiled-vs-pure comparison exits 2 with a clear message."""
+    import repro.runner.perfgate as pg
+
+    baseline = _payload(100_000.0, {"cx": 100_000.0})
+    baseline["host"] = {"kernel_variant": "compiled"}
+    baseline_path = tmp_path / "BENCH_kernel.json"
+    baseline_path.write_text(json.dumps(baseline))
+
+    fresh = _payload(100_000.0, {"cx": 100_000.0})
+    fresh["host"] = {"kernel_variant": "pure"}
+    monkeypatch.setattr(pg, "bench_kernel", lambda **kw: fresh)
+
+    code = run_perf_gate(
+        baseline_path=str(baseline_path),
+        fresh_path=str(tmp_path / FRESH_FILE),
+    )
+    assert code == 2
+    out = capsys.readouterr().out
+    assert "kernel variant mismatch" in out
+    assert "'compiled'" in out and "'pure'" in out
+    # The fresh payload is still written for CI artifact upload.
+    assert (tmp_path / FRESH_FILE).exists()
+
+
+def test_run_perf_gate_same_variant_proceeds(tmp_path, monkeypatch):
+    import repro.runner.perfgate as pg
+
+    baseline = _payload(100_000.0, {"cx": 100_000.0})
+    baseline_path = tmp_path / "BENCH_kernel.json"
+    baseline_path.write_text(json.dumps(baseline))
+
+    fresh = _payload(100_000.0, {"cx": 101_000.0})
+    fresh["host"] = {"kernel_variant": "pure"}  # baseline's absence == pure
+    monkeypatch.setattr(pg, "bench_kernel", lambda **kw: fresh)
+
+    code = run_perf_gate(
+        baseline_path=str(baseline_path),
+        fresh_path=str(tmp_path / FRESH_FILE),
+    )
+    assert code == 0

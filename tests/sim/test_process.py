@@ -30,8 +30,10 @@ class TestBasics:
         assert not p.is_alive
 
     def test_yield_non_event_raises(self, sim):
+        # Ints are excluded here: a raw int yield is the anonymous
+        # event-handle currency (sim.timeout_h / Store.get_h).
         def proc(sim):
-            yield 42
+            yield "not-an-event"
 
         p = sim.process(proc(sim))
         p.defuse()
