@@ -158,7 +158,7 @@ def main(argv=None) -> int:
         "experiment",
         help="experiment id (table1..table5, fig4..fig9), 'trace <exp>', "
              "'analyze <exp>', 'profile <exp>', 'bench', 'perf-gate', "
-             "'all', or 'list'",
+             "'fuzz', 'all', or 'list'",
     )
     parser.add_argument(
         "target", nargs="?", default=None,
@@ -219,7 +219,40 @@ def main(argv=None) -> int:
                              "recorder's recent events (always written by "
                              "analyze; trace writes it on invariant "
                              "violations or a crashed replay)")
+    parser.add_argument("--schedules", type=int, default=20, metavar="N",
+                        help="fuzz: number of seeded fault schedules to "
+                             "explore (default 20)")
+    parser.add_argument("--shrink", action="store_true",
+                        help="fuzz: ddmin-reduce every failing schedule "
+                             "to a minimal fault list before writing its "
+                             "minimal-repro artifact")
+    parser.add_argument("--resume", metavar="FILE", default=None,
+                        help="fuzz: checkpoint file; schedules already "
+                             "recorded there are skipped and new results "
+                             "appended (default <out-dir>/"
+                             "fuzz_seed<seed>.jsonl)")
     args = parser.parse_args(argv)
+
+    if args.experiment == "fuzz":
+        from repro.faultfuzz import run_fuzz
+
+        if args.schedules < 1:
+            parser.error("--schedules must be >= 1")
+        start = time.time()
+        report = run_fuzz(
+            seed=args.seed,
+            schedules=args.schedules,
+            jobs=1 if args.jobs is None else args.jobs,
+            shrink=args.shrink,
+            resume_path=args.resume,
+            out_dir=args.out_dir,
+            progress=print,
+        )
+        elapsed = time.time() - start
+        print(report.text)
+        print(f"[fuzz explored {args.schedules} schedules in "
+              f"{elapsed:.1f}s wall]\n")
+        return 1 if report.failures else 0
 
     if args.experiment == "bench":
         from repro.runner.bench import run_bench

@@ -44,8 +44,16 @@ class FailureInjector:
     # -- primitives ----------------------------------------------------------
 
     def crash_server(self, index: int) -> int:
-        """Kill server ``index``; returns the log's valid bytes at crash."""
+        """Kill server ``index``; returns the log's valid bytes at crash.
+
+        Crashing an already-crashed server raises: the double crash is
+        always a driver bug (the dead process cannot die again), and
+        silently re-running the crash path would re-drain queues and
+        re-bump the node epoch against a node with no live traffic.
+        """
         server = self.cluster.servers[index]
+        if server.crashed:
+            raise RuntimeError(f"server {index} is already crashed")
         valid = server.wal.valid_bytes
         server.crash()
         return valid
@@ -60,9 +68,27 @@ class FailureInjector:
             delay = at - self.cluster.sim.now
             if delay > 0:
                 yield self.cluster.sim.timeout(delay)
-            self.crash_server(index)
+            if not self.cluster.servers[index].crashed:
+                self.crash_server(index)
 
         self.cluster.sim.process(_crasher())
+
+    def crash_server_at_event(self, index: int, at_event: int) -> None:
+        """Crash server ``index`` when the processed-event count reaches
+        ``at_event`` — the fault explorer's deterministic crash point.
+
+        Uses the kernel's event-index probe, so the crash lands between
+        two dispatches at the exact same index on every replay of the
+        same schedule, independent of wall time or kernel variant.  A
+        server that is already down at the probe instant is left alone
+        (the schedule's recovery step will revive it).
+        """
+
+        def _crash_now() -> None:
+            if not self.cluster.servers[index].crashed:
+                self.crash_server(index)
+
+        self.cluster.sim.arm_probe(at_event, _crash_now)
 
     # -- recovery ---------------------------------------------------------------
 
@@ -71,9 +97,14 @@ class FailureInjector:
 
         Returns a :class:`RecoveryReport`.  The role's ``recover``
         generator does the actual work (quiesce, log scan, resumption).
+        Recovering a server that is not crashed raises immediately —
+        rebooting a live server would wipe its volatile protocol state
+        mid-operation, which no caller legitimately wants.
         """
         cluster = self.cluster
         server = cluster.servers[index]
+        if not server.crashed:
+            raise RuntimeError(f"server {index} is not crashed")
 
         def _recover():
             crash_time = cluster.sim.now

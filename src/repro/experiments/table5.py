@@ -22,6 +22,37 @@ PAPER_ROWS = {5: 3, 10: 6, 50: 8, 100: 10, 500: 12, 1000: 17}
 
 DEFAULT_SIZES_KB = (5, 10, 50, 100, 500, 1000)
 
+#: Per-feeder operation budget: a CREATE appends >= ~100 bytes of
+#: records on the victim, so even the 1000 KB row needs well under
+#: this many ops per feeder.  Hitting it means the fill loop is not
+#: making progress toward ``valid_bytes`` and the run must die loudly.
+_FEEDER_OP_BUDGET = 200_000
+
+#: Drive-loop step budget: the largest row finishes in a few million
+#: events; an order of magnitude past that is a hang, not a slow run.
+_DRIVE_STEP_BUDGET = 50_000_000
+
+
+def _drive(sim, event, budget: int, what: str) -> None:
+    """Step the simulator until ``event`` is processed, failing loudly.
+
+    Raises instead of hanging when the queue drains with the event
+    still pending (every driver process exited without completing it)
+    or when ``budget`` steps pass without completion.
+    """
+    steps = 0
+    while not event.processed:
+        if sim.peek() == float("inf"):
+            raise RuntimeError(
+                f"table5 stalled: queue drained before {what} completed"
+            )
+        if steps >= budget:
+            raise RuntimeError(
+                f"table5 exceeded its {budget}-step budget while {what}"
+            )
+        sim.step()
+        steps += 1
+
 
 def _fill_and_crash(target_kb: int, num_servers: int = 8, seed: int = 0):
     """Load the cluster until server 0 holds ~target_kb of valid records,
@@ -39,23 +70,36 @@ def _fill_and_crash(target_kb: int, num_servers: int = 8, seed: int = 0):
     runners = []
     for i, proc in enumerate(procs):
         def feeder(proc=proc, i=i):
+            # Guard the fill loop: if the target is already met the
+            # feeder must finish as a generator without performing a
+            # single op (an immediately-exhausted body would make the
+            # process driver raise StopIteration on first resume), and
+            # a loop that stops accumulating valid bytes must abort
+            # rather than spin forever.
             serial = 0
             while victim.wal.valid_bytes < target:
                 serial += 1
+                if serial > _FEEDER_OP_BUDGET:
+                    raise RuntimeError(
+                        f"table5 feeder p{i} exceeded {_FEEDER_OP_BUDGET} "
+                        f"ops with valid_bytes="
+                        f"{victim.wal.valid_bytes} < target={target}"
+                    )
                 h = cluster.placement.allocate_handle()
                 op = FileOperation(OpType.CREATE, proc.new_op_id(), parent=d,
                                    name=f"p{i}-{serial}", target=h)
                 yield from proc.perform(op)
+            return None
         runners.append(cluster.sim.process(feeder()))
     done = cluster.sim.all_of(runners)
-    while not done.processed:
-        cluster.sim.step()
+    _drive(cluster.sim, done, _DRIVE_STEP_BUDGET,
+           f"filling to {target_kb} KB")
 
     injector = FailureInjector(cluster)
     injector.crash_server(0)
     report_proc = injector.recover_server(0)
-    while not report_proc.processed:
-        cluster.sim.step()
+    _drive(cluster.sim, report_proc, _DRIVE_STEP_BUDGET,
+           "recovering server 0")
     return report_proc.value
 
 

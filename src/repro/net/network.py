@@ -35,15 +35,29 @@ class Network:
     """Registry of nodes plus the delivery mechanism.
 
     Deliveries ride on anonymous event handles carrying a pooled
-    ``[arrival, msgs, dsts]`` batch: back-to-back sends that land at
-    the same arrival instant — a Cx commit fan-out, the client's
-    coordinator+participant REQ pair — coalesce into *one* timeline
-    entry delivering N messages in one dispatch.  Coalescing is legal
-    only when nothing else entered the timeline between the sends
-    (checked via the simulator's sequence counter) and the arrival
-    times match exactly; each coalesced message still burns a sequence
-    number and counts as one processed event, so the schedule — and the
-    golden event counts — are bit-identical to per-message delivery.
+    ``[arrival, msgs, dsts, epochs]`` batch: back-to-back sends that
+    land at the same arrival instant — a Cx commit fan-out, the
+    client's coordinator+participant REQ pair — coalesce into *one*
+    timeline entry delivering N messages in one dispatch.  Coalescing
+    is legal only when nothing else entered the timeline between the
+    sends (checked via the simulator's sequence counter) and the
+    arrival times match exactly; each coalesced message still burns a
+    sequence number and counts as one processed event, so the schedule
+    — and the golden event counts — are bit-identical to per-message
+    delivery.
+
+    Crash semantics: every message is stamped at send time with the
+    destination's crash *epoch* (bumped on every :meth:`Node.crash`).
+    A delivery whose stamp no longer matches is dead-lettered — the
+    destination crashed while the message was in flight, so it must
+    not be handled even if the node has already rebooted.  Messages
+    sent *to* a down node deliver normally once it reboots (the epoch
+    matches); only the in-flight-across-a-crash window is dropped.
+
+    :attr:`fault_hook`, when set, is consulted on every send and may
+    drop, duplicate, or delay the message — the fault explorer's
+    message-level injection point.  It is ``None``-checked once per
+    send, so an unarmed network pays one attribute load.
     """
 
     def __init__(
@@ -69,8 +83,12 @@ class Network:
         #: the next sim sequence number iff nothing was scheduled since
         #: the last send (the coalescing precondition).
         self._batch_next_seq = -1
-        #: recycled ``[arrival, msgs, dsts]`` batches.
+        #: recycled ``[arrival, msgs, dsts, epochs]`` batches.
         self._free_batches: list[list] = []
+        #: Optional ``msg -> None | ("drop",) | ("dup", extra_delay) |
+        #: ("delay", extra_delay)`` callback — the fault explorer's
+        #: message-fault injection point.
+        self.fault_hook = None
         # Bound once; this is the delivery dispatch callback.
         self._deliver_cb = self._deliver_batch
 
@@ -138,6 +156,24 @@ class Network:
                 )
                 msg.span_id = hop_id
 
+        hook = self.fault_hook
+        if hook is not None:
+            action = hook(msg)
+            if action is not None:
+                what = action[0]
+                if what == "drop":
+                    # Epoch -1 never matches: the delivery-time check
+                    # dead-letters the message at its arrival instant,
+                    # failing the sender's RPC there (a lost message
+                    # surfaces as a connection reset, not a hang).
+                    self._schedule_single(msg, dst, delay, -1)
+                    return
+                if what == "dup":
+                    self._schedule_single(msg, dst, delay + action[1],
+                                          dst.epoch)
+                elif what == "delay":
+                    delay += action[1]
+
         sim = self.sim
         arrival = sim._now + delay
         batch = self._open_batch
@@ -150,6 +186,7 @@ class Network:
             sim._seq = self._batch_next_seq = sim._seq + 1
             batch[1].append(msg)
             batch[2].append(dst)
+            batch[3].append(dst.epoch)
             return
         free = self._free_batches
         if free:
@@ -157,8 +194,9 @@ class Network:
             batch[0] = arrival
             batch[1].append(msg)
             batch[2].append(dst)
+            batch[3].append(dst.epoch)
         else:
-            batch = [arrival, [msg], [dst]]
+            batch = [arrival, [msg], [dst], [dst.epoch]]
         afree = sim._afree
         h = afree.pop() if afree else sim._alloc_h()
         sim._ast[h] = 1  # H_OK
@@ -183,34 +221,83 @@ class Network:
         self._open_batch = batch
         self._batch_next_seq = seq + 1
 
+    def _schedule_single(self, msg: Message, dst: "Node", delay: float,
+                         epoch: int) -> None:
+        """Schedule a one-message delivery outside the coalescing path.
+
+        Fault-injection helper (forced drops, duplicates): the batch is
+        never left open for later sends to coalesce into, and a
+        sentinel ``epoch=-1`` guarantees the delivery-time epoch check
+        dead-letters the message.
+        """
+        sim = self.sim
+        free = self._free_batches
+        if free:
+            batch = free.pop()
+            batch[0] = sim._now + delay
+            batch[1].append(msg)
+            batch[2].append(dst)
+            batch[3].append(epoch)
+        else:
+            batch = [sim._now + delay, [msg], [dst], [epoch]]
+        h = sim.timeout_h(delay, batch)
+        sim._acb[h] = self._deliver_cb
+
     def _deliver_batch(self, h: int) -> None:
-        """Dispatch callback: deliver every message of one batch."""
+        """Dispatch callback: deliver every message of one batch.
+
+        A message is dead-lettered when the destination is down *or*
+        its send-time epoch stamp is stale (the destination crashed
+        while the message was in flight, even if it has rebooted
+        since): a crashed server is silent until recovery, and nothing
+        sent to its previous incarnation may reach the new one.
+        """
         sim = self.sim
         batch = sim._aval[h]
         if self._open_batch is batch:
             self._open_batch = None
         msgs = batch[1]
         dsts = batch[2]
+        epochs = batch[3]
         n = len(msgs)
         if n > 1:
             # One pop carried n logical delivery events; keep
             # events_processed identical to per-message delivery.
             sim._n_extra += n - 1
-        nodes = self.nodes
         for i in range(n):
             msg = msgs[i]
             dst = dsts[i]
-            if dst.crashed:
-                src = nodes.get(msg.src)
-                if src is not None:
-                    waiter = src._pending_rpcs.pop(msg.msg_id, None)
-                    if waiter is not None and not waiter.triggered:
-                        waiter.fail(ConnectionError(f"{msg.dst} is down"))
+            if dst.crashed or dst.epoch != epochs[i]:
+                self._dead_letter(msg)
             else:
                 dst.deliver(msg)
         msgs.clear()
         dsts.clear()
+        epochs.clear()
         self._free_batches.append(batch)
+
+    def _dead_letter(self, msg: Message) -> None:
+        """Drop an undeliverable message, failing the sender's RPC.
+
+        The sender sees the loss as a connection reset at the arrival
+        instant (so RPC callers react instead of hanging); the drop is
+        counted in :attr:`MessageStats.dead_letters` and, when tracing,
+        recorded as a ``net.dead-letter`` instant for the repro trail.
+        """
+        self.stats.dead_letters += 1
+        src = self.nodes.get(msg.src)
+        if src is not None:
+            waiter = src._pending_rpcs.pop(msg.msg_id, None)
+            if waiter is not None and not waiter.triggered:
+                waiter.fail(ConnectionError(f"{msg.dst} is down"))
+        tracer = self.tracer
+        if tracer.enabled:
+            op_id = msg.payload.get("op_id") or msg.payload.get("op")
+            if tracer.sampled(op_id):
+                tracer.event(
+                    "net.dead-letter", msg.dst, cat="net", op_id=op_id,
+                    kind=msg.kind.value, src=msg.src,
+                )
 
 
 class Node:
@@ -230,6 +317,10 @@ class Node:
         self.node_id = node_id
         self.inbox: Store = Store(sim)
         self.crashed = False
+        #: Crash incarnation counter.  Bumped on every :meth:`crash`
+        #: (not on reboot): a message stamped with an older epoch was
+        #: in flight when the node died and must never be delivered.
+        self.epoch = 0
         self._pending_rpcs: Dict[int, Event] = {}
         network.register(self)
 
@@ -321,6 +412,7 @@ class Node:
 
     def crash(self) -> None:
         self.crashed = True
+        self.epoch += 1  # invalidates every message already in flight here
         self.inbox.close()
         self.fail_pending_rpcs(ConnectionError(f"{self.node_id} crashed"))
 

@@ -20,6 +20,10 @@ class MessageStats:
         self.by_kind: Counter = Counter()
         self.total = 0
         self.total_bytes = 0
+        #: Messages dropped at delivery time — destination crashed (or
+        #: crashed and rebooted) after the send, or a fault schedule
+        #: forced a loss.  Not part of the delivered-traffic totals.
+        self.dead_letters = 0
 
     #: Background liveness probes are not protocol traffic (the paper's
     #: Table IV counts the messages of the trace replay itself).
@@ -36,6 +40,7 @@ class MessageStats:
         self.by_kind.clear()
         self.total = 0
         self.total_bytes = 0
+        self.dead_letters = 0
 
     def count(self, kind: MessageKind) -> int:
         return self.by_kind[kind]
@@ -45,6 +50,10 @@ class MessageStats:
         out = {k.value: v for k, v in self.by_kind.items()}
         out["TOTAL"] = self.total
         out["TOTAL_BYTES"] = self.total_bytes
+        if self.dead_letters:
+            # Only present when nonzero: fault-free snapshots (and the
+            # committed golden ones) keep their exact key set.
+            out["DEAD_LETTERS"] = self.dead_letters
         return out
 
     @property

@@ -38,10 +38,14 @@ class TaskFailed(RuntimeError):
     def __init__(self, failures: List["TaskOutcome"]) -> None:
         self.failures = failures
         first = failures[0]
+        # Task specs other than ReplayTask (the fuzzer's FuzzTask) may
+        # not carry kind/trace/protocol; degrade to the class name.
+        kind = getattr(first.task, "kind", type(first.task).__name__)
+        trace = getattr(first.task, "trace", None) or "-"
+        protocol = getattr(first.task, "protocol", "-")
         super().__init__(
             f"{len(failures)} of the submitted tasks failed; first: "
-            f"task #{first.index} ({first.task.kind}/{first.task.trace or '-'}/"
-            f"{first.task.protocol}):\n{first.error}"
+            f"task #{first.index} ({kind}/{trace}/{protocol}):\n{first.error}"
         )
 
 
@@ -89,11 +93,11 @@ class RunnerResult:
         """
         per_server: List[Dict[str, object]] = []
         for o in self.outcomes:
-            if o.summary is None:
+            metrics = getattr(o.summary, "server_metrics", None)
+            if metrics is None:
                 continue
             per_server.extend(
-                snap for node, snap in o.summary.server_metrics.items()
-                if node != "cluster"
+                snap for node, snap in metrics.items() if node != "cluster"
             )
         return merge_snapshot_dicts(per_server)
 
@@ -105,10 +109,10 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
-def _run_one(index: int, task: ReplayTask) -> TaskOutcome:
+def _run_one(index: int, task: ReplayTask, fn=execute_task) -> TaskOutcome:
     start = time.perf_counter()
     try:
-        summary = execute_task(task)
+        summary = fn(task)
     except Exception:
         return TaskOutcome(
             index=index,
@@ -124,14 +128,15 @@ def _run_one(index: int, task: ReplayTask) -> TaskOutcome:
     )
 
 
-def _run_serial(tasks: Sequence[ReplayTask]) -> List[TaskOutcome]:
-    return [_run_one(i, t) for i, t in enumerate(tasks)]
+def _run_serial(tasks: Sequence[ReplayTask], fn=execute_task) -> List[TaskOutcome]:
+    return [_run_one(i, t, fn) for i, t in enumerate(tasks)]
 
 
 def run_tasks(
     tasks: Sequence[ReplayTask],
     jobs: Optional[int] = 1,
     raise_on_error: bool = True,
+    fn=execute_task,
 ) -> RunnerResult:
     """Execute every task; return outcomes in task order.
 
@@ -140,6 +145,11 @@ def run_tasks(
     across a ``ProcessPoolExecutor``.  ``jobs=None`` or ``0`` uses all
     cores.  With ``raise_on_error=False``, failed cells come back as
     outcomes with ``error`` set instead of raising :class:`TaskFailed`.
+
+    ``fn`` is the worker entry point (default: the replay-cell
+    executor).  Alternate grids — the fault explorer's schedule fan-out
+    — pass their own picklable ``task -> summary`` callable; outcomes
+    keep their task-ordered determinism regardless of ``fn``.
     """
     tasks = list(tasks)
     jobs = resolve_jobs(jobs)
@@ -148,12 +158,13 @@ def run_tasks(
     fell_back = False
 
     if jobs == 1:
-        outcomes = _run_serial(tasks)
+        outcomes = _run_serial(tasks, fn)
     else:
         try:
             with ProcessPoolExecutor(max_workers=jobs) as pool:
                 futures = [
-                    pool.submit(_run_one, i, t) for i, t in enumerate(tasks)
+                    pool.submit(_run_one, i, t, fn)
+                    for i, t in enumerate(tasks)
                 ]
                 by_index: List[Optional[TaskOutcome]] = [None] * len(tasks)
                 for fut in futures:
@@ -171,7 +182,7 @@ def run_tasks(
                 file=sys.stderr,
             )
             fell_back = True
-            outcomes = _run_serial(tasks)
+            outcomes = _run_serial(tasks, fn)
 
     result = RunnerResult(
         outcomes=outcomes,

@@ -169,6 +169,12 @@ class Simulator:
         #: extra logical events carried by batched dispatches (a batched
         #: network delivery of N messages is one pop but N events)
         self._n_extra = 0
+        # -- event-index probe (fault-schedule injection) ---------------
+        #: event index at which the armed probe fires; -1 when disarmed.
+        #: Checked once per run()/run_until() call, not per event, so an
+        #: unarmed probe costs nothing on the replay hot path.
+        self._probe_at = -1
+        self._probe_cb: Optional[Callable[[], None]] = None
 
     # -- clock ----------------------------------------------------------
 
@@ -422,6 +428,85 @@ class Simulator:
         self._n_dispatched += 1
         self._dispatch(x)
 
+    def cancel_h(self, h: int) -> None:
+        """Recycle a still-pending handle that will never be triggered.
+
+        Crash paths use this for handles parked on destroyed structures
+        (a WAL flush queue drained by ``crash()``, capacity waiters that
+        will never be woken): a pending handle is in neither the lanes
+        nor the heap, so nothing else references it and the slot can go
+        straight back to the free list.  Without this, every crash leaks
+        one SoA column slot per parked handle — and worse, a stale
+        callback left on the slot could fire against whatever event is
+        recycled into it later.
+
+        No-op when ``h`` has already been triggered (it is queued and
+        will recycle itself at dispatch).
+        """
+        if self._ast[h] == 0:
+            self._acb[h] = None
+            self._aval[h] = None
+            self._afree.append(h)
+
+    # -- event-index probe ------------------------------------------------
+
+    def arm_probe(self, at_index: int, callback: Callable[[], None]) -> None:
+        """Fire ``callback`` once ``events_processed`` reaches ``at_index``.
+
+        The fault explorer's injection point: the callback runs *between*
+        events, at the first instant the processed-event count (including
+        batched-delivery extras) is ``>= at_index``, from inside
+        :meth:`run` / :meth:`run_until`.  The callback may re-arm the
+        probe to chain injections.  Only one probe can be armed at a
+        time; while armed, the kernel drives events through the step-wise
+        :meth:`_run_probed` loop (exact counts, ~2x slower), and returns
+        to the batched fast path as soon as the probe is disarmed — an
+        unarmed probe costs one attribute check per run() call.
+        """
+        if at_index < 0:
+            raise ValueError(f"negative probe index {at_index!r}")
+        if self._probe_at >= 0:
+            raise RuntimeError("an event-index probe is already armed")
+        self._probe_at = at_index
+        self._probe_cb = callback
+
+    def disarm_probe(self) -> None:
+        """Cancel the armed probe (no-op if none is armed)."""
+        self._probe_at = -1
+        self._probe_cb = None
+
+    def _run_probed(self, until: Optional[float], event: Optional[Event]) -> None:
+        """Step-wise drive loop used while an event-index probe is armed.
+
+        Mirrors the caller's stop condition (``run(until)`` when
+        ``event`` is None, else ``run_until(event)``) but processes one
+        event at a time so the dispatched count is exact at every
+        boundary.  Returns when the probe is disarmed (caller resumes
+        its fast loop) or when the caller's stop condition is due
+        (caller observes it immediately and finishes).
+        """
+        while self._probe_at >= 0:
+            if self._n_dispatched + self._n_extra >= self._probe_at:
+                cb = self._probe_cb
+                self._probe_at = -1
+                self._probe_cb = None
+                assert cb is not None
+                cb()  # may re-arm for a later index
+                continue
+            if event is not None:
+                if event.callbacks is None:  # processed
+                    return
+                if not (self._lane_urgent or self._lane_normal or self._heap):
+                    raise SimulationError(
+                        f"queue drained before {event!r} was processed"
+                    )
+            elif not (self._lane_urgent or self._lane_normal):
+                if not self._heap:
+                    return
+                if until is not None and self._heap[0][0] > until:
+                    return
+            self.step()
+
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue drains, or until virtual time ``until``.
 
@@ -436,6 +521,8 @@ class Simulator:
         """
         if until is not None and until < self._now:
             raise ValueError(f"until={until!r} is in the past (now={self._now!r})")
+        if self._probe_at >= 0:
+            self._run_probed(until, None)
         heap = self._heap
         lane_u = self._lane_urgent
         lane_n = self._lane_normal
@@ -562,6 +649,8 @@ class Simulator:
             event.callbacks.append(
                 lambda e: e.defuse() if e._ok is False else None
             )
+        if self._probe_at >= 0:
+            self._run_probed(None, event)
         heap = self._heap
         lane_u = self._lane_urgent
         lane_n = self._lane_normal

@@ -312,11 +312,21 @@ class WriteAheadLog:
         dropped (a write whose IO did not finish is treated as torn);
         the index afterwards reflects exactly the recoverable on-disk
         contents, which is what recovery scans.
+
+        Completion handles parked in the flush queue and the capacity
+        wait-list are *cancelled* (recycled back to the simulator's
+        free list): they can never fire once their queues are drained,
+        and leaving them pending would leak an SoA column slot per
+        crash — with the stale completion callback still attached to a
+        slot a later event could recycle into.
         """
+        cancel = self.sim.cancel_h
         doomed = self._unflushed
         self._unflushed = []
         while len(self._flush_queue):
-            self._flush_queue.get()
+            _record, done = self._flush_queue.get().value
+            if type(done) is int:
+                cancel(done)
         for record in doomed:
             self.valid_bytes -= record.size
             recs = self._index.get(record.op_id)
@@ -327,7 +337,10 @@ class WriteAheadLog:
                     pass
                 if not recs:
                     del self._index[record.op_id]
-        self._space_waiters.clear()
+        while self._space_waiters:
+            _record, done = self._space_waiters.popleft()
+            if type(done) is int:
+                cancel(done)
         self.on_full = None
 
     # -- recovery support ----------------------------------------------------

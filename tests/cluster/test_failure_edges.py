@@ -1,0 +1,109 @@
+"""Failure-injector edge cases: double crash, bogus recovery, and a
+coordinator dying mid-commitment.
+
+The first two used to corrupt state silently (a double crash re-drained
+queues and re-bumped the epoch of a node with no live traffic; a
+recovery of a live server wiped its volatile protocol tables); both now
+raise.  The third is the paper's core crash scenario and must converge
+with zero safety violations once the coordinator recovers.
+"""
+
+import pytest
+
+from repro import SimParams
+from repro.cluster import FailureInjector
+from repro.cluster.builder import ROOT_HANDLE
+from repro.obs import InvariantChecker
+from tests.conftest import build_cluster, make_create, run_to_completion
+
+
+class TestCrashEdges:
+    def test_double_crash_raises(self):
+        cluster = build_cluster("cx")
+        injector = FailureInjector(cluster)
+        injector.crash_server(1)
+        with pytest.raises(RuntimeError, match="already crashed"):
+            injector.crash_server(1)
+
+    def test_recover_without_crash_raises(self):
+        cluster = build_cluster("cx")
+        injector = FailureInjector(cluster)
+        with pytest.raises(RuntimeError, match="not crashed"):
+            injector.recover_server(0)
+
+    def test_crash_at_skips_already_crashed(self):
+        """The timed crasher must not double-crash a dead server."""
+        cluster = build_cluster("cx")
+        injector = FailureInjector(cluster)
+        injector.crash_server_at(2, at=0.5)
+        injector.crash_server(2)
+        cluster.sim.run(until=1.0)  # the scheduled crasher fires: no-op
+        assert cluster.servers[2].crashed
+
+    def test_crash_recover_roundtrip(self):
+        cluster = build_cluster("cx")
+        injector = FailureInjector(cluster)
+        injector.crash_server(0)
+        report = run_to_completion(cluster, injector.recover_server(0))
+        assert not cluster.servers[0].crashed
+        assert report.server == 0
+        assert report.duration > 0
+
+
+class TestCrashAtEvent:
+    def test_crashes_at_exact_event_index(self):
+        cluster = build_cluster("cx")
+        injector = FailureInjector(cluster)
+        sim = cluster.sim
+        injector.crash_server_at_event(1, 200)
+        assert not cluster.servers[1].crashed
+        sim.run(until=sim.now + 5.0)  # heartbeats alone reach index 200
+        assert cluster.servers[1].crashed
+        assert sim.events_processed >= 200
+
+    def test_probe_skips_already_crashed(self):
+        cluster = build_cluster("cx")
+        injector = FailureInjector(cluster)
+        sim = cluster.sim
+        injector.crash_server_at_event(3, 100)
+        injector.crash_server(3)
+        sim.run(until=sim.now + 5.0)  # the probe fires: no-op
+        assert cluster.servers[3].crashed
+
+
+class TestCoordinatorCrashMidCommit:
+    def test_converges_with_zero_violations(self):
+        """Crash a coordinator while its lazy commitments are pending,
+        recover it, and require a clean, fully-decided trace."""
+        cluster = build_cluster(
+            "cx",
+            params=SimParams(commit_timeout=0.05, client_retry_timeout=1.0),
+        )
+        sim = cluster.sim
+        d = cluster.preload_dir(ROOT_HANDLE, "dir")
+        runners = []
+        for i, proc in enumerate(cluster.all_processes()):
+            def feeder(proc=proc, i=i):
+                for k in range(4):
+                    yield from proc.perform(
+                        make_create(cluster, proc, d, f"f{i}-{k}")
+                    )
+            runners.append(sim.process(feeder()))
+        done = sim.all_of(runners)
+        run_to_completion(cluster, done)
+
+        # Every op executed; coordinators still hold lazy commitments.
+        injector = FailureInjector(cluster)
+        injector.crash_server(0)
+        # Let the survivors' in-flight commitment traffic toward the
+        # dead coordinator dead-letter and time out.
+        sim.run(until=sim.now + 0.5)
+        run_to_completion(cluster, injector.recover_server(0))
+        cluster.quiesce_protocol()
+
+        violations = InvariantChecker(cluster.tracer.events).check_safety()
+        assert violations == []
+        for server in cluster.servers:
+            assert not server.role.pending, (
+                f"{server.node_id} still holds pending ops after recovery"
+            )

@@ -74,3 +74,56 @@ class TestScaledExperiments:
         (row,) = result.rows
         assert row["cx_vs_ofs"] > 0.2
         assert row["ofs_time"] > row["cx_time"]
+
+
+class TestTable5Guards:
+    """The fill-and-crash driver fails loudly instead of hanging."""
+
+    def test_drive_raises_when_queue_drains(self):
+        from repro.experiments.table5 import _drive
+        from repro.sim import Simulator
+
+        sim = Simulator()
+        never = sim.event()
+        with pytest.raises(RuntimeError, match="stalled"):
+            _drive(sim, never, 1_000, "testing")
+
+    def test_drive_raises_past_step_budget(self):
+        from repro.experiments.table5 import _drive
+        from repro.sim import Simulator
+
+        sim = Simulator()
+
+        def forever():
+            while True:
+                yield sim.timeout_h(0.001)
+
+        sim.process(forever())
+        never = sim.event()
+        with pytest.raises(RuntimeError, match="step budget"):
+            _drive(sim, never, 100, "testing")
+
+    def test_drive_returns_on_completion(self):
+        from repro.experiments.table5 import _drive
+        from repro.sim import Simulator
+
+        sim = Simulator()
+        done = sim.event()
+
+        def worker():
+            yield sim.timeout_h(0.5)
+            done.succeed()
+
+        sim.process(worker())
+        _drive(sim, done, 1_000, "testing")
+        assert done.processed
+
+    def test_fill_and_crash_micro(self):
+        """A tiny fill target exercises the feeder guard path end-to-end
+        (feeders whose target is met exit as empty generators)."""
+        from repro.experiments.table5 import _fill_and_crash
+
+        report = _fill_and_crash(4, num_servers=4)
+        assert report.server == 0
+        assert report.valid_bytes_at_crash >= 4 * 1024
+        assert report.duration > 0

@@ -1,0 +1,208 @@
+"""Crash-delivery semantics: epochs, dead-lettering, and fault hooks.
+
+The bug these pin down: a message in flight *toward* a server when it
+crashes used to be delivered after the server rebooted — the reboot
+cleared ``crashed`` before the delivery callback ran, so the revenant
+message walked straight into the recovered node's inbox carrying
+pre-crash protocol state.  Deliveries now carry the destination's
+crash epoch from send time and are dead-lettered when it no longer
+matches (or the node is down at arrival).
+"""
+
+import pytest
+
+from repro.net import Message, MessageKind, Network, Node
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def net(sim, params):
+    return Network(sim, params)
+
+
+@pytest.fixture
+def pair(sim, net):
+    return Node(sim, net, "a"), Node(sim, net, "b")
+
+
+class TestDeadLetter:
+    def test_in_flight_across_crash_is_dead_lettered(self, sim, net, pair):
+        """Sent before the crash, arriving after the reboot: dropped."""
+        a, b = pair
+        a.send("b", MessageKind.REQ, {"stale": True})
+        # Crash and reboot both happen while the message is in flight.
+        b.crash()
+        b.reboot()
+        sim.run()
+        assert len(b.inbox) == 0
+        assert net.stats.dead_letters == 1
+        assert net.stats.snapshot()["DEAD_LETTERS"] == 1
+
+    def test_arrival_while_down_is_dead_lettered(self, sim, net, pair):
+        a, b = pair
+        a.send("b", MessageKind.REQ)
+        b.crash()
+        sim.run()
+        assert len(b.inbox) == 0
+        assert net.stats.dead_letters == 1
+
+    def test_sent_while_down_delivers_after_reboot(self, sim, net, pair):
+        """A message *addressed to* a down node that reboots before
+        arrival is fine: it carries the post-crash epoch."""
+        a, b = pair
+        b.crash()
+        b.reboot()
+        a.send("b", MessageKind.REQ, {"fresh": True})
+        sim.run()
+        assert len(b.inbox) == 1
+        assert net.stats.dead_letters == 0
+
+    def test_dead_letter_fails_pending_rpc(self, sim, net, pair):
+        """The sender's RPC fails at delivery time, not never."""
+        a, b = pair
+        caught = []
+
+        def client():
+            try:
+                yield a.request("b", MessageKind.REQ)
+            except ConnectionError as exc:
+                caught.append(str(exc))
+
+        sim.process(client())
+        sim.run(until=0.0)
+        b.crash()
+        b.reboot()
+        sim.run()
+        assert caught == ["b is down"]
+
+    def test_epoch_bumps_on_crash_only(self, sim, net, pair):
+        _a, b = pair
+        assert b.epoch == 0
+        b.crash()
+        assert b.epoch == 1
+        b.reboot()
+        assert b.epoch == 1
+        b.crash()
+        assert b.epoch == 2
+
+    def test_batched_delivery_mixes_fates(self, sim, net, pair):
+        """Same-instant messages to both nodes share one batch; only
+        the crashed destination's message dies."""
+        a, b = pair
+        c = Node(sim, net, "c")
+        a.send("b", MessageKind.REQ)
+        a.send("c", MessageKind.REQ)
+        b.crash()
+        b.reboot()
+        sim.run()
+        assert len(b.inbox) == 0
+        assert len(c.inbox) == 1
+        assert net.stats.dead_letters == 1
+
+    def test_stats_reset_clears_dead_letters(self, sim, net, pair):
+        a, b = pair
+        a.send("b", MessageKind.REQ)
+        b.crash()
+        sim.run()
+        assert net.stats.dead_letters == 1
+        net.stats.reset()
+        assert net.stats.dead_letters == 0
+        # The snapshot key only appears when there is something to say
+        # (keeps fault-free snapshots identical to the golden ones).
+        assert "DEAD_LETTERS" not in net.stats.snapshot()
+
+
+class TestFaultHook:
+    def test_drop_never_delivers(self, sim, net, pair):
+        a, b = pair
+        net.fault_hook = lambda msg: ("drop",)
+        a.send("b", MessageKind.REQ)
+        sim.run()
+        assert len(b.inbox) == 0
+        assert net.stats.dead_letters == 1
+
+    def test_dup_delivers_twice(self, sim, net, pair):
+        a, b = pair
+        net.fault_hook = lambda msg: ("dup", 0.5)
+        a.send("b", MessageKind.REQ, {"n": 1})
+        net.fault_hook = None
+        sim.run()
+        assert len(b.inbox) == 2
+
+    def test_delay_shifts_arrival(self, sim, net, pair):
+        a, b = pair
+        base = net.delay_for(Message(MessageKind.REQ, "a", "b"))
+        net.fault_hook = lambda msg: ("delay", 1.0)
+        a.send("b", MessageKind.REQ)
+        net.fault_hook = None
+        sim.run(until=base + 0.5)
+        assert len(b.inbox) == 0
+        sim.run()
+        assert len(b.inbox) == 1
+        assert sim.now == pytest.approx(base + 1.0)
+
+    def test_delay_reorders_past_later_sends(self, sim, net, pair):
+        a, b = pair
+        net.fault_hook = lambda msg: (
+            ("delay", 1.0) if msg.payload.get("n") == 0 else None
+        )
+        a.send("b", MessageKind.REQ, {"n": 0})
+        a.send("b", MessageKind.REQ, {"n": 1})
+        sim.run()
+        order = [b.inbox.get().value.payload["n"] for _ in range(2)]
+        assert order == [1, 0]
+
+    def test_none_hook_costs_nothing(self, sim, net, pair):
+        """Un-armed hook: delivery identical to a hookless network."""
+        a, b = pair
+        a.send("b", MessageKind.REQ)
+        sim.run()
+        assert len(b.inbox) == 1
+        assert net.stats.dead_letters == 0
+
+    def test_dup_of_message_to_crashing_node_dead_letters_both(
+            self, sim, net, pair):
+        a, b = pair
+        net.fault_hook = lambda msg: ("dup", 0.25)
+        a.send("b", MessageKind.REQ)
+        net.fault_hook = None
+        b.crash()
+        b.reboot()
+        sim.run()
+        assert len(b.inbox) == 0
+        assert net.stats.dead_letters == 2
+
+
+class TestDeterminism:
+    def test_fault_hook_replay_is_deterministic(self, params):
+        """Same hook decisions -> identical event count and clock."""
+
+        def run_once():
+            sim = Simulator()
+            net = Network(sim, params)
+            a, b = Node(sim, net, "a"), Node(sim, net, "b")
+            sends = [0]
+
+            def hook(msg):
+                i = sends[0]
+                sends[0] += 1
+                if i % 5 == 1:
+                    return ("drop",)
+                if i % 5 == 2:
+                    return ("dup", 0.2)
+                if i % 5 == 3:
+                    return ("delay", 0.1)
+                return None
+
+            net.fault_hook = hook
+
+            def chatter():
+                for k in range(40):
+                    a.send("b", MessageKind.REQ, {"k": k})
+                    yield sim.timeout_h(0.001 if k % 3 else 0.0)
+
+            sim.process(chatter())
+            sim.run()
+            return sim.events_processed, sim.now, len(b.inbox)
+
+        assert run_once() == run_once()

@@ -9,7 +9,9 @@ the determinism of the resulting schedule.
 
 import pytest
 
+from repro.params import SimParams
 from repro.sim import Interrupt, Simulator, Store
+from repro.storage import Disk, LogRecord, WriteAheadLog
 
 
 def _column_size(sim: Simulator) -> int:
@@ -153,3 +155,57 @@ class TestHandleRecycling:
         sim = Simulator()
         with pytest.raises(ValueError):
             sim.timeout_h(-1.0)
+
+    def test_wal_crash_cancels_parked_handles(self):
+        """Crash with appends parked in the WAL recycles their handles.
+
+        A crash catches ``append_h`` handles in two parking spots: the
+        flush queue (records accepted, fsync pending) and the capacity
+        waiters (log full).  ``WriteAheadLog.crash()`` must cancel both
+        kinds — a leaked slot grows the columns forever, and a leaked
+        *callback* would resurrect the crashed writer when the slot is
+        recycled into an unrelated event.
+        """
+        sim = Simulator()
+        params = SimParams()
+        disk = Disk(sim, params)
+        wal = WriteAheadLog(sim, disk, params, capacity=2_000)
+        resumed = []
+
+        def writer(k):
+            yield wal.append_h(LogRecord((1, 1, k), "RESULT", size=600))
+            resumed.append(k)
+
+        # Writer 0 first: the flusher picks its record up into the
+        # in-flight batch and starts the fsync.
+        sim.process(writer(0))
+        sim.run(until=0.0)
+        # The rest append while the fsync is in flight: records 1-2 are
+        # admitted and sit in the flush queue; 3-11 park on capacity.
+        for k in range(1, 12):
+            sim.process(writer(k))
+        sim.run(until=0.0)
+        assert len(wal._space_waiters) > 0
+        assert len(wal._flush_queue) > 0
+        assert resumed == []
+
+        wal.crash()
+        assert len(wal._space_waiters) == 0
+        assert len(wal._flush_queue) == 0
+
+        # Churn the recycled slots hard: the doomed writers must never
+        # resume, and the columns stay at their crash-time high-water
+        # mark instead of growing by one leaked slot per parked handle.
+        size_after_crash = _column_size(sim)
+
+        def churner():
+            for i in range(5_000):
+                yield sim.timeout_h(0.001 if i % 3 else 0.0)
+
+        sim.process(churner())
+        sim.run()
+        # Only writer 0 resumes (its record was in the flusher's
+        # in-flight batch, not a parked queue; a cluster crash kills
+        # the flusher process too, but the WAL alone must not).
+        assert resumed == [0]
+        assert _column_size(sim) <= size_after_crash
