@@ -156,9 +156,9 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (table1..table5, fig4..fig9), 'trace <exp>', "
-             "'analyze <exp>', 'profile <exp>', 'bench', 'perf-gate', "
-             "'fuzz', 'all', or 'list'",
+        help="experiment id (table1..table5, fig4..fig9), 'scale', "
+             "'trace <exp>', 'analyze <exp>', 'profile <exp>', 'bench', "
+             "'perf-gate', 'fuzz', 'all', or 'list'",
     )
     parser.add_argument(
         "target", nargs="?", default=None,
@@ -189,10 +189,11 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", type=float, default=None,
                         help="replay scale override for a traced replay")
     parser.add_argument("--quick", action="store_true",
-                        help="bench: smaller grid and replay scale "
+                        help="bench/scale: smaller grid and replay scale "
                              "(CI smoke configuration)")
     parser.add_argument("--out-dir", metavar="DIR", default=".",
-                        help="bench: directory for BENCH_*.json (default .)")
+                        help="bench/scale: directory for BENCH_*.json "
+                             "(default .)")
     parser.add_argument("--rounds", type=int, default=3, metavar="N",
                         help="bench/perf-gate: repeat each kernel cell N "
                              "times and record the best wall time "
@@ -263,6 +264,24 @@ def main(argv=None) -> int:
                   out_dir=args.out_dir, rounds=args.rounds)
         return 0
 
+    if args.experiment == "scale":
+        from repro.experiments.scale import run_scale
+
+        start = time.time()
+        result = run_scale(
+            seed=args.seed,
+            jobs=1 if args.jobs is None else args.jobs,
+            quick=args.quick,
+            out_dir=args.out_dir,
+        )
+        elapsed = time.time() - start
+        print(result.text)
+        if result.notes:
+            print(f"\n{result.notes}")
+        print(f"[scale regenerated in {elapsed:.1f}s wall; "
+              f"BENCH_scale.json written to {args.out_dir}]\n")
+        return 0
+
     if args.experiment == "profile":
         from repro.runner.profile import profile_experiment
 
@@ -301,6 +320,8 @@ def main(argv=None) -> int:
         print("available experiments:")
         for name in registry:
             print(f"  {name}")
+        print("  scale          (streaming synthetic sweep 16->256 "
+              "servers; --quick, --jobs, --out-dir)")
         print("  trace <exp>    (traced replay: fig5, fig8, table4)")
         print("  analyze <exp>  (critical-path phase breakdown, "
               "--protocol cx|ofs|ofs-batched)")

@@ -128,6 +128,85 @@ class MetricsCollector:
         return out
 
 
+class StreamingMetricsCollector:
+    """Bounded-memory drop-in for :class:`MetricsCollector`.
+
+    The list-of-records collector keeps one :class:`OpRecord` per
+    operation — exact, but O(ops) memory, which the scale family's
+    million-op cells cannot afford.  This variant folds every record
+    into counters plus a log-bucketed latency histogram
+    (:class:`repro.obs.registry.Histogram`, memory bounded by the
+    number of distinct sub-buckets ever touched), so a cell's metrics
+    footprint is independent of how many operations it replays.
+    Percentiles are bucket-midpoint approximations (≤ ~12.5% relative
+    error); counts, sums, and the makespan stay exact.
+    """
+
+    def __init__(self) -> None:
+        from repro.obs.registry import Histogram
+
+        self._lat = Histogram()
+        self.total_ops = 0
+        self.completed_ok = 0
+        self.cross_server_ops = 0
+        self.conflicted_ops = 0
+        self._cross_lat_sum = 0.0
+        self._first_start = float("inf")
+        self._last_end = float("-inf")
+        self._by_type: Dict[OpType, int] = {}
+
+    def record_op(self, op, plan, result, start: float, end: float) -> None:
+        self.total_ops += 1
+        if result.ok:
+            self.completed_ok += 1
+        cross = plan.cross_server
+        if cross:
+            self.cross_server_ops += 1
+            self._cross_lat_sum += end - start
+        if result.conflicted:
+            self.conflicted_ops += 1
+        self._lat.observe(end - start)
+        if start < self._first_start:
+            self._first_start = start
+        if end > self._last_end:
+            self._last_end = end
+        t = op.op_type
+        self._by_type[t] = self._by_type.get(t, 0) + 1
+
+    # -- derived (same surface as MetricsCollector) ------------------------
+
+    @property
+    def conflict_ratio(self) -> float:
+        if not self.total_ops:
+            return 0.0
+        return self.conflicted_ops / self.total_ops
+
+    @property
+    def makespan(self) -> float:
+        if not self.total_ops:
+            return 0.0
+        return self._last_end - self._first_start
+
+    def throughput(self) -> float:
+        span = self.makespan
+        return self.completed_ok / span if span > 0 else 0.0
+
+    def mean_latency(self, cross_only: bool = False) -> float:
+        if cross_only:
+            if not self.cross_server_ops:
+                return 0.0
+            return self._cross_lat_sum / self.cross_server_ops
+        return self._lat.mean if self.total_ops else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        if not self.total_ops:
+            return 0.0
+        return self._lat.percentile(q)
+
+    def ops_by_type(self) -> Dict[OpType, int]:
+        return dict(self._by_type)
+
+
 class TimelineSampler:
     """Periodically samples a probe function against virtual time.
 

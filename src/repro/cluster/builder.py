@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.metrics import MetricsCollector
+from repro.analysis.metrics import MetricsCollector, StreamingMetricsCollector
 from repro.cluster.client import ClientNode, ClientProcess
 from repro.cluster.server import MetadataServer, server_node_id
 from repro.fs.objects import DirEntry, FileType, Inode, dirent_key, inode_key
@@ -83,6 +83,7 @@ class Cluster:
         seed: int = 0,
         tracer: Optional[Tracer] = None,
         lazy_servers: bool = False,
+        streaming_metrics: bool = False,
     ) -> None:
         from repro.protocols.base import Protocol  # avoid import cycle
 
@@ -97,7 +98,13 @@ class Cluster:
             tracer.bind(sim)
         self.network = Network(sim, params, tracer=self.tracer)
         self.placement = PlacementPolicy(num_servers, self.rngs.stream("placement"))
-        self.metrics = MetricsCollector()
+        # Streaming mode folds per-op records into bounded counters and
+        # a log-bucketed histogram — the million-op scale cells cannot
+        # afford one OpRecord per operation.
+        self.metrics = (
+            StreamingMetricsCollector() if streaming_metrics
+            else MetricsCollector()
+        )
         if lazy_servers:
             # Scale-sweep mode: setup cost is O(servers touched), not
             # O(num_servers).  Server construction order then follows
@@ -151,6 +158,7 @@ class Cluster:
         tracer: Optional[Tracer] = None,
         trace: bool = False,
         lazy_servers: bool = False,
+        streaming_metrics: bool = False,
     ) -> "Cluster":
         """Assemble a cluster.
 
@@ -179,6 +187,7 @@ class Cluster:
             seed=seed,
             tracer=tracer,
             lazy_servers=lazy_servers,
+            streaming_metrics=streaming_metrics,
         )
 
     # -- accessors --------------------------------------------------------------
@@ -198,13 +207,37 @@ class Cluster:
             self._processes[key] = cp
         return cp
 
-    def metrics_snapshot(self) -> Dict[str, dict]:
+    def materialized_servers(self) -> List[MetadataServer]:
+        """The servers that actually exist.
+
+        Eager clusters: all of them.  Lazy clusters: only the servers
+        built so far, in index order — iterating ``cluster.servers``
+        would materialize the rest, which is exactly what quiesce and
+        scale-cell summaries must avoid at 256 servers (an untouched
+        server has no protocol state and no metrics worth reading).
+        """
+        servers = self.servers
+        if isinstance(servers, LazyServerList):
+            return [servers._built[i] for i in sorted(servers._built)]
+        return list(servers)
+
+    def metrics_snapshot(self, materialized_only: bool = False) -> Dict[str, dict]:
         """Per-server metrics registries as plain dicts, plus a merged
-        ``cluster`` aggregate."""
+        ``cluster`` aggregate.
+
+        ``materialized_only=True`` restricts a lazy cluster's snapshot
+        to the servers the workload actually touched (no-op on eager
+        clusters) — the scale cells' way of keeping a 256-server
+        summary bounded.
+        """
+        servers = (
+            self.materialized_servers() if materialized_only
+            else list(self.servers)
+        )
         out: Dict[str, dict] = {
-            s.node_id: s.metrics.snapshot() for s in self.servers
+            s.node_id: s.metrics.snapshot() for s in servers
         }
-        out["cluster"] = merge_snapshots(s.metrics for s in self.servers)
+        out["cluster"] = merge_snapshots(s.metrics for s in servers)
         return out
 
     def all_processes(self) -> List[ClientProcess]:
@@ -276,7 +309,10 @@ class Cluster:
         ``timeout`` of additional virtual time) so lazy commitments and
         flushes complete before consistency checks.
         """
-        for server in self.servers:
+        # Only servers that exist can have protocol state to flush; on
+        # a lazy cluster, touching the rest here would materialize all
+        # 256 of them just to flush empty queues.
+        for server in self.materialized_servers():
             if server.role is not None:
                 server.role.flush_now()
         # run(until=...) drains every event due within the window through

@@ -49,6 +49,7 @@ class CxRole(ServerRole):
         self.metrics = server.metrics
         self._m_conflicts = None
         self._m_disagreements = None
+        self._m_unsolicited_acks = None
         self._trigger_meters: Dict[str, object] = {}
         #: Executed-but-uncommitted operations known to this server.
         self.pending: Dict[OpId, PendingOp] = {}
@@ -129,6 +130,9 @@ class CxRole(ServerRole):
             self.server.unquiesce()
             self.server.send_reply(msg, MessageKind.ACK, {})
             return True
+        if kind is MessageKind.ACK:
+            self._drop_unsolicited_ack()
+            return True
         return False
 
     def handle(self, msg: Message) -> Generator:
@@ -147,8 +151,27 @@ class CxRole(ServerRole):
         elif kind is MessageKind.RECOVERY_END:
             self.server.unquiesce()
             self.server.send_reply(msg, MessageKind.ACK, {})
+        elif kind is MessageKind.ACK:
+            self._drop_unsolicited_ack()
         else:  # pragma: no cover - protocol error
             raise ValueError(f"Cx server got unexpected {kind}")
+
+    def _drop_unsolicited_ack(self) -> None:
+        """Swallow an ACK whose RPC slot was already consumed.
+
+        A re-delivered COMMIT-REQ (network duplication, coordinator
+        retry across a participant crash) makes ``handle_decide`` run
+        twice and send two ACKs; the coordinator's RPC wait consumed
+        the first, so the second lands here as an ordinary inbox
+        message.  The commit decision is idempotent, so the duplicate
+        carries no information — drop it and count.
+        """
+        m = self._m_unsolicited_acks
+        if m is None:
+            m = self._m_unsolicited_acks = self.metrics.counter(
+                "acks.unsolicited"
+            )
+        m.inc()
 
     # -- execution phase --------------------------------------------------------------
 

@@ -23,6 +23,7 @@ from repro.experiments.fig6 import run_fig6
 from repro.experiments.fig7 import run_fig7
 from repro.experiments.fig8 import run_fig8
 from repro.experiments.fig9 import run_fig9
+from repro.experiments.scale import run_scale
 
 __all__ = [
     "EXPERIMENT_TIMEOUT",
@@ -34,6 +35,7 @@ __all__ = [
     "run_fig7",
     "run_fig8",
     "run_fig9",
+    "run_scale",
     "run_table1",
     "run_table2",
     "run_table3",

@@ -1,0 +1,181 @@
+"""Scale family — streaming synthetic workloads at 16 -> 256 servers.
+
+Two sweeps, both fanned through the parallel runner:
+
+* **scaling** — the ``flood`` mix at a fixed offered load (32 client
+  machines x 8 processes) across growing server counts.  With the
+  client fleet pinned, adding servers spreads the same op stream
+  thinner: per-server queueing drops, cross-server coordination cost
+  becomes the dominant term, and the cx / ofs gap widens with the
+  server count.
+* **sensitivity** — the ``mixed`` mix at a fixed server count across a
+  ``cross_frac`` ramp, isolating how each protocol's throughput decays
+  as the cross-server fraction of the workload grows.
+
+Every cell builds its cluster lazily (``lazy_servers=True``) and
+replays a lazy op-stream generator with bounded streaming metrics, so
+a million-op 256-server cell costs O(servers touched) setup and O(1)
+per-op memory.  The table reports setup and replay wall time
+separately: the paper's claim is about the replay critical path, and
+namespace preloading must not be allowed to blur it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional, Sequence
+
+from repro.analysis.tables import render_table
+from repro.experiments.common import ExperimentResult, grid_summaries
+from repro.runner import ReplayTask
+
+PROTOCOLS = ("ofs", "ofs-batched", "cx")
+
+#: Server-count axis for the scaling sweep.
+SERVER_COUNTS = (16, 64, 256)
+QUICK_SERVER_COUNTS = (16, 64)
+
+#: cross_frac axis for the sensitivity sweep (at SENSITIVITY_SERVERS).
+CROSS_FRACS = (0.1, 0.3, 0.6, 0.9)
+QUICK_CROSS_FRACS = (0.1, 0.9)
+SENSITIVITY_SERVERS = 16
+
+#: Ops per cell: the full family replays million-op mixes; ``--quick``
+#: keeps the same shape at smoke-test cost.
+TOTAL_OPS = 1_000_000
+QUICK_TOTAL_OPS = 20_000
+
+#: Artifact written when an output directory is given.
+SCALE_JSON = "BENCH_scale.json"
+
+
+def scale_tasks(
+    seed: int = 0,
+    quick: bool = False,
+    total_ops: Optional[int] = None,
+    server_counts: Optional[Sequence[int]] = None,
+    cross_fracs: Optional[Sequence[float]] = None,
+):
+    """The family's cells as ``(meta, task)`` pairs, deterministic order."""
+    if server_counts is None:
+        server_counts = QUICK_SERVER_COUNTS if quick else SERVER_COUNTS
+    if cross_fracs is None:
+        cross_fracs = QUICK_CROSS_FRACS if quick else CROSS_FRACS
+    if total_ops is None:
+        total_ops = QUICK_TOTAL_OPS if quick else TOTAL_OPS
+
+    cells = []
+    for n in server_counts:
+        for protocol in PROTOCOLS:
+            meta = {"phase": "scaling", "mix": "flood", "servers": n,
+                    "cross_frac": None, "protocol": protocol}
+            cells.append((meta, ReplayTask(
+                kind="synth", protocol=protocol, num_servers=n,
+                mix="flood", total_ops=total_ops, seed=seed,
+                label=f"scale:flood:{n}:{protocol}",
+            )))
+    for frac in cross_fracs:
+        for protocol in PROTOCOLS:
+            meta = {"phase": "sensitivity", "mix": "mixed",
+                    "servers": SENSITIVITY_SERVERS, "cross_frac": frac,
+                    "protocol": protocol}
+            cells.append((meta, ReplayTask(
+                kind="synth", protocol=protocol,
+                num_servers=SENSITIVITY_SERVERS,
+                mix="mixed", total_ops=total_ops, cross_frac=frac,
+                seed=seed,
+                label=f"scale:mixed:x{frac:g}:{protocol}",
+            )))
+    return cells
+
+
+def _row(meta: dict, s) -> dict:
+    replay_wall = s.replay_wall_seconds
+    return {
+        **meta,
+        "ops": s.total_ops,
+        "failed_ops": s.failed_ops,
+        "throughput": s.throughput,
+        "events_processed": s.events_processed,
+        "events_per_sec": (
+            s.events_processed / replay_wall if replay_wall > 0 else 0.0
+        ),
+        "latency_p50_ms": s.latency_p50 * 1e3,
+        "latency_p99_ms": s.latency_p99 * 1e3,
+        "cross_frac_observed": (
+            s.cross_server_ops / s.total_ops if s.total_ops else 0.0
+        ),
+        "conflict_ratio": s.conflict_ratio,
+        "setup_wall_s": s.setup_wall_seconds,
+        "replay_wall_s": replay_wall,
+        "servers_materialized": s.servers_materialized,
+    }
+
+
+def _render(rows) -> str:
+    headers = ("servers", "mix", "xfrac", "protocol", "ops/s", "ev/s",
+               "p50 ms", "p99 ms", "cross%", "setup s", "replay s", "mat")
+    texts = []
+    for phase, title in (
+        ("scaling", "Scale — flood mix, fixed offered load, growing servers"),
+        ("sensitivity",
+         f"Scale — mixed mix @ {SENSITIVITY_SERVERS} servers, "
+         "cross-server fraction ramp"),
+    ):
+        body = [
+            (
+                r["servers"], r["mix"],
+                "-" if r["cross_frac"] is None else f"{r['cross_frac']:g}",
+                r["protocol"],
+                f"{r['throughput']:.0f}",
+                f"{r['events_per_sec']:.0f}",
+                f"{r['latency_p50_ms']:.2f}",
+                f"{r['latency_p99_ms']:.2f}",
+                f"{100 * r['cross_frac_observed']:.1f}",
+                f"{r['setup_wall_s']:.2f}",
+                f"{r['replay_wall_s']:.2f}",
+                f"{r['servers_materialized']}/{r['servers']}",
+            )
+            for r in rows if r["phase"] == phase
+        ]
+        if body:
+            texts.append(render_table(headers, body, title=title))
+    return "\n\n".join(texts)
+
+
+def run_scale(
+    seed: int = 0,
+    jobs: int = 1,
+    quick: bool = False,
+    total_ops: Optional[int] = None,
+    server_counts: Optional[Sequence[int]] = None,
+    cross_fracs: Optional[Sequence[float]] = None,
+    out_dir: Optional[str] = None,
+) -> ExperimentResult:
+    """Run the scale family; optionally write ``BENCH_scale.json``."""
+    cells = scale_tasks(
+        seed=seed, quick=quick, total_ops=total_ops,
+        server_counts=server_counts, cross_fracs=cross_fracs,
+    )
+    summaries = grid_summaries([t for _m, t in cells], jobs=jobs)
+    rows = [_row(meta, s) for (meta, _t), s in zip(cells, summaries)]
+
+    notes = (
+        "setup/replay wall clocked separately; 'mat' = servers "
+        "materialized by the lazy build out of the configured count."
+    )
+    result = ExperimentResult("scale", _render(rows), rows, notes=notes)
+    if out_dir is not None:
+        os.makedirs(out_dir, exist_ok=True)
+        payload = {
+            "experiment": "scale",
+            "quick": bool(quick),
+            "seed": seed,
+            "rows": rows,
+            "notes": notes,
+        }
+        with open(os.path.join(out_dir, SCALE_JSON), "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return result

@@ -1,6 +1,6 @@
 """``python -m repro bench`` — the repo's wall-clock perf trajectory.
 
-Two benchmark families, two JSON artifacts:
+Three benchmark families, three JSON artifacts:
 
 * **BENCH_kernel.json** — single-core kernel numbers: a pure
   event-loop microbenchmark (timeout churn through the inlined run
@@ -14,6 +14,11 @@ Two benchmark families, two JSON artifacts:
   1-core host however many workers fan out — the speedup cross-check
   is skipped and an explanatory note recorded instead, since the
   number would measure scheduler noise, not the runner.
+
+* **BENCH_scale.json** — the scale family's grid (server-count sweep
+  16 -> 256 plus the cross-fraction ramp) at bench stream length: lazy
+  cluster build, streaming generation, per-cell setup/replay wall split
+  and events/s — the trajectory for the large-cluster path.
 
 Artifacts are plain JSON so successive runs diff cleanly; later perf
 PRs are measured against the trajectory these files establish.
@@ -32,6 +37,14 @@ from repro.runner.tasks import ReplayTask
 
 KERNEL_FILE = "BENCH_kernel.json"
 EXPERIMENTS_FILE = "BENCH_experiments.json"
+SCALE_FILE = "BENCH_scale.json"
+
+#: Ops per scale-bench cell.  The experiment family's full sweep runs
+#: million-op cells; the bench trajectory wants minutes, not hours, so
+#: it samples the same grid at a smaller stream length (still long
+#: enough that per-cell events/s is code-dominated).
+SCALE_BENCH_OPS = 50_000
+SCALE_BENCH_OPS_QUICK = 10_000
 
 #: Protocols timed by the kernel replay benchmark.
 PROTOCOLS = ("ofs", "ofs-batched", "cx")
@@ -330,8 +343,40 @@ def bench_experiments(
     return payload
 
 
+def bench_scale(
+    jobs: Optional[int] = None, quick: bool = False, seed: int = 0
+) -> Dict[str, object]:
+    """The scale family's grid at bench-trajectory stream length.
+
+    Same cells as ``python -m repro scale`` (server-count sweep plus
+    cross-fraction ramp, lazy clusters, streaming generation) but with
+    :data:`SCALE_BENCH_OPS` ops per cell, so the artifact tracks the
+    family's wall-clock trajectory without the full million-op cost.
+    """
+    from repro.experiments.scale import run_scale
+
+    jobs = 8 if jobs is None else resolve_jobs(jobs)
+    total_ops = SCALE_BENCH_OPS_QUICK if quick else SCALE_BENCH_OPS
+    start = time.perf_counter()
+    result = run_scale(seed=seed, jobs=jobs, quick=quick,
+                       total_ops=total_ops)
+    wall = time.perf_counter() - start
+    return {
+        "bench": "scale",
+        "quick": quick,
+        "host": _host(),
+        "total_ops_per_cell": total_ops,
+        "cells": len(result.rows),
+        "jobs": jobs,
+        "wall_seconds": wall,
+        "rows": result.rows,
+        "notes": result.notes,
+    }
+
+
 def render_bench(kernel: Dict[str, object],
-                 experiments: Dict[str, object]) -> str:
+                 experiments: Dict[str, object],
+                 scale: Optional[Dict[str, object]] = None) -> str:
     lines = []
     loop = kernel["event_loop"]
     lines.append(
@@ -367,6 +412,17 @@ def render_bench(kernel: Dict[str, object],
         f"{speedup_text}, "
         f"identical={experiments['results_identical']}"
     )
+    if scale:
+        rows = scale["rows"]
+        peak = max((r["events_per_sec"] for r in rows), default=0.0)
+        max_servers = max((r["servers"] for r in rows), default=0)
+        lines.append(
+            f"scale grid ({scale['cells']} cells x "
+            f"{scale['total_ops_per_cell']} ops, up to {max_servers} "
+            f"servers, {scale['jobs']} jobs): "
+            f"{scale['wall_seconds']:.1f}s wall, "
+            f"peak {peak:,.0f} events/s"
+        )
     return "\n".join(lines)
 
 
@@ -385,13 +441,16 @@ def run_bench(
     """
     kernel = bench_kernel(quick=quick, seed=seed, rounds=rounds)
     experiments = bench_experiments(jobs=jobs, quick=quick, seed=seed)
+    scale = bench_scale(jobs=jobs, quick=quick, seed=seed)
     paths = {}
-    for name, payload in ((KERNEL_FILE, kernel), (EXPERIMENTS_FILE, experiments)):
+    for name, payload in ((KERNEL_FILE, kernel),
+                          (EXPERIMENTS_FILE, experiments),
+                          (SCALE_FILE, scale)):
         path = os.path.join(out_dir, name)
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
         paths[name] = path
-    print(render_bench(kernel, experiments))
-    print(f"wrote {paths[KERNEL_FILE]} and {paths[EXPERIMENTS_FILE]}")
+    print(render_bench(kernel, experiments, scale))
+    print("wrote " + ", ".join(paths.values()))
     return paths

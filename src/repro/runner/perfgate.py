@@ -15,8 +15,10 @@ gate exists to catch the step-function regressions a hot-path refactor
 can introduce — a 2x slowdown — not 5% drift; the committed trajectory
 files remain the precision record.
 
-The fresh quick-bench payload is written next to the report (default
-``BENCH_kernel_fresh.json``) so CI can upload it as an artifact.
+The fresh quick-bench payload is scratch output, not trajectory: it is
+written under ``artifacts/`` (default
+``artifacts/BENCH_kernel_fresh.json``) so CI can upload it without the
+repo root accumulating uncommitted ``BENCH_*_fresh.json`` files.
 """
 
 from __future__ import annotations
@@ -29,7 +31,8 @@ from typing import Dict, List, Optional
 from repro.runner.bench import KERNEL_FILE, bench_kernel
 
 #: Fresh quick-bench payload, uploaded by CI next to the report.
-FRESH_FILE = "BENCH_kernel_fresh.json"
+#: Scratch output lives under artifacts/, never at the repo root.
+FRESH_FILE = os.path.join("artifacts", "BENCH_kernel_fresh.json")
 
 #: The warn line is the attention signal; the fail line is the hard
 #: backstop.  The fresh run is quick-scale and the baseline full-scale,
@@ -205,6 +208,9 @@ def run_perf_gate(
         baseline = json.load(fh)
 
     fresh = bench_kernel(quick=quick, seed=seed, rounds=rounds)
+    fresh_dir = os.path.dirname(fresh_path)
+    if fresh_dir:
+        os.makedirs(fresh_dir, exist_ok=True)
     with open(fresh_path, "w", encoding="utf-8") as fh:
         json.dump(fresh, fh, indent=2, sort_keys=True)
         fh.write("\n")

@@ -19,6 +19,7 @@ from typing import Dict, Optional
 KIND_TRACE = "trace"
 KIND_METARATES = "metarates"
 KIND_INJECT = "inject"
+KIND_SYNTH = "synth"
 
 
 @dataclass(frozen=True)
@@ -32,7 +33,11 @@ class ReplayTask:
     * ``"metarates"`` — one Metarates point: ``update_fraction`` at
       ``num_servers`` under one protocol (fig6 cells);
     * ``"inject"`` — a Cx trace replay with probability-``p_inject``
-      conflict probes (fig8 cells).
+      conflict probes (fig8 cells);
+    * ``"synth"`` — one scale-family cell: a streaming synthetic
+      workload (``mix`` from :data:`repro.workloads.synth.SYNTH_MIXES`)
+      replayed on a lazily-built cluster with bounded streaming
+      metrics.
 
     ``params`` carries :class:`~repro.params.SimParams` field overrides
     as a plain dict so the spec stays picklable.
@@ -51,16 +56,31 @@ class ReplayTask:
     ops_per_process: int = 30
     preload_per_server: int = 400
     think_time: float = 0.0
+    #: "synth" only: named workload mix, total ops across processes,
+    #: and optional spec-knob overrides (None keeps the mix default).
+    mix: Optional[str] = None
+    total_ops: int = 100_000
+    cross_frac: Optional[float] = None
+    zipf_s: Optional[float] = None
+    hot_dirs: Optional[int] = None
+    #: "synth" only: client-fleet shape (None -> 32 machines x 8 procs,
+    #: a fixed offered load so throughput is comparable across the
+    #: server-count axis).
+    num_clients: Optional[int] = None
+    procs_per_client: Optional[int] = None
     #: SimParams overrides, picklable (e.g. {"commit_timeout": 0.1}).
     params: Optional[Dict[str, object]] = None
     #: Free-form tag echoed on the outcome (experiment row bookkeeping).
     label: str = ""
 
     def __post_init__(self) -> None:
-        if self.kind not in (KIND_TRACE, KIND_METARATES, KIND_INJECT):
+        if self.kind not in (KIND_TRACE, KIND_METARATES, KIND_INJECT,
+                             KIND_SYNTH):
             raise ValueError(f"unknown task kind {self.kind!r}")
         if self.kind in (KIND_TRACE, KIND_INJECT) and self.trace is None:
             raise ValueError(f"{self.kind!r} task needs a trace name")
+        if self.kind == KIND_SYNTH and self.mix is None:
+            raise ValueError("'synth' task needs a mix name")
 
 
 @dataclass
@@ -92,6 +112,15 @@ class ReplaySummary:
     events_processed: int = 0
     #: node id -> MetricsRegistry snapshot, plus a merged "cluster" key.
     server_metrics: Dict[str, dict] = field(default_factory=dict)
+    #: Scale cells only: wall-clock seconds spent building the cluster
+    #: and preloading the namespace, vs replaying the streams — the
+    #: setup-off-the-critical-path split the scale table reports.
+    setup_wall_seconds: float = 0.0
+    replay_wall_seconds: float = 0.0
+    #: Scale cells only: servers actually constructed (lazy build)
+    #: out of the configured total.
+    servers_materialized: int = 0
+    num_servers: int = 0
 
 
 def _params_from(task: ReplayTask):
@@ -189,6 +218,9 @@ def _execute_task(task: ReplayTask) -> ReplaySummary:
             server_metrics=cluster.metrics_snapshot(),
         )
 
+    if task.kind == KIND_SYNTH:
+        return _execute_synth(task, num_servers)
+
     if task.kind == KIND_METARATES:
         from repro.cluster.builder import Cluster
         from repro.protocols import get_protocol
@@ -213,3 +245,85 @@ def _execute_task(task: ReplayTask) -> ReplaySummary:
         return _summarize(cluster, result)
 
     raise ValueError(f"unknown task kind {task.kind!r}")  # pragma: no cover
+
+
+def _execute_synth(task: ReplayTask, num_servers: int) -> ReplaySummary:
+    """One scale cell: lazy cluster + streaming workload + streaming replay.
+
+    Memory discipline for million-op cells: the op streams are lazy
+    generators (no materialized lists), the replay discards per-op
+    results (``collect=False``), the cluster uses the bounded
+    streaming metrics collector, and the summary ships only the merged
+    ``cluster`` registry aggregate over *materialized* servers — never
+    256 per-server snapshot dicts.  Setup (cluster build + namespace
+    preload) and replay wall time are clocked separately.
+    """
+    import time
+
+    from repro.cluster.builder import Cluster
+    from repro.obs.registry import merge_snapshots
+    from repro.protocols import get_protocol
+    from repro.workloads import replay_streams
+    from repro.workloads.synth import SYNTH_MIXES, SynthWorkload
+
+    if task.mix not in SYNTH_MIXES:
+        raise ValueError(
+            f"unknown synth mix {task.mix!r}; "
+            f"available: {', '.join(sorted(SYNTH_MIXES))}"
+        )
+    setup_start = time.perf_counter()
+    cluster = Cluster.build(
+        num_servers=num_servers,
+        num_clients=task.num_clients if task.num_clients is not None else 32,
+        protocol=get_protocol(task.protocol),
+        params=_params_from(task),
+        procs_per_client=(
+            task.procs_per_client if task.procs_per_client is not None else 8
+        ),
+        seed=task.seed,
+        lazy_servers=True,
+        streaming_metrics=True,
+    )
+    wl = SynthWorkload(
+        SYNTH_MIXES[task.mix],
+        total_ops=task.total_ops,
+        seed=task.seed,
+        cross_frac=task.cross_frac,
+        zipf_s=task.zipf_s,
+        hot_dirs=task.hot_dirs,
+    )
+    streams = wl.streams(cluster, cluster.all_processes())
+    setup_wall = time.perf_counter() - setup_start
+
+    replay_start = time.perf_counter()
+    result = replay_streams(
+        cluster, streams, think_time=task.think_time, collect=False
+    )
+    replay_wall = time.perf_counter() - replay_start
+
+    m = cluster.metrics
+    materialized = cluster.materialized_servers()
+    return ReplaySummary(
+        protocol=result.protocol,
+        replay_time=result.replay_time,
+        total_ops=result.total_ops,
+        throughput=result.throughput,
+        cross_server_ops=result.cross_server_ops,
+        conflicted_ops=result.conflicted_ops,
+        conflict_ratio=result.conflict_ratio,
+        messages=result.messages,
+        message_bytes=result.message_bytes,
+        failed_ops=result.failed_ops,
+        mean_latency=result.mean_latency,
+        latency_p50=m.latency_percentile(50),
+        latency_p99=m.latency_percentile(99),
+        latency_p999=m.latency_percentile(99.9),
+        events_processed=cluster.sim.events_processed,
+        server_metrics={
+            "cluster": merge_snapshots(s.metrics for s in materialized)
+        },
+        setup_wall_seconds=setup_wall,
+        replay_wall_seconds=replay_wall,
+        servers_materialized=len(materialized),
+        num_servers=num_servers,
+    )

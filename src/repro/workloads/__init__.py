@@ -4,6 +4,7 @@ from repro.workloads.spec import TRACE_SPECS, TraceSpec
 from repro.workloads.traces import StreamPlan, TraceWorkload
 from repro.workloads.metarates import MetaratesWorkload
 from repro.workloads.replay import ReplayResult, replay_streams
+from repro.workloads.synth import SYNTH_MIXES, SynthSpec, SynthWorkload
 from repro.workloads.inject import (
     ConflictInjector,
     build_probe_op,
@@ -16,6 +17,9 @@ __all__ = [
     "MetaratesWorkload",
     "ReplayResult",
     "StreamPlan",
+    "SYNTH_MIXES",
+    "SynthSpec",
+    "SynthWorkload",
     "TRACE_SPECS",
     "TraceSpec",
     "TraceWorkload",

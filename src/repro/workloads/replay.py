@@ -49,6 +49,7 @@ def replay_streams(
     settle: float = 60.0,
     max_virtual_time: Optional[float] = None,
     think_time: float = 0.0,
+    collect: bool = True,
 ) -> ReplayResult:
     """Run every stream to completion and collect measurements.
 
@@ -57,6 +58,12 @@ def replay_streams(
     flushes) so the namespace is quiesced for consistency checks.
     ``think_time`` inserts application-side time between a process's
     operations (the MPI benchmark's own work between calls).
+
+    ``collect=False`` is the streaming mode: per-op results are folded
+    into ``cluster.metrics`` and dropped instead of accumulated, so a
+    replay's memory footprint is independent of stream length —
+    required by the scale family's million-op cells, whose streams are
+    lazy generators rather than lists.
     """
     sim = cluster.sim
     cluster.network.stats.reset()
@@ -70,8 +77,15 @@ def replay_streams(
                 yield sim.timeout(think_time)
         return results
 
+    def _runner_streaming(proc, ops):
+        for op in ops:
+            yield from proc.perform(op)
+            if think_time > 0:
+                yield sim.timeout(think_time)
+
+    body = _runner if collect else _runner_streaming
     runners = [
-        sim.process(_runner(proc, ops)) for proc, ops in streams.items()
+        sim.process(body(proc, ops)) for proc, ops in streams.items()
     ]
     done = sim.all_of(runners)
 

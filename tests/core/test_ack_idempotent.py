@@ -1,0 +1,85 @@
+"""Regression: a duplicated COMMIT-REQ must not crash the Cx server.
+
+Fuzz-derived scenario: the network re-delivers a COMMIT-REQ, the
+participant's ``handle_decide`` runs twice and sends two ACKs; the
+coordinator's RPC wait consumed the first, so the second arrives as an
+ordinary inbox message.  The strict dispatcher used to raise
+``ValueError("Cx server got unexpected MessageKind.ACK")``; it now
+drops the duplicate and counts it under ``acks.unsolicited``.
+"""
+
+from __future__ import annotations
+
+from repro.fs.ops import FileOperation, OpType
+from repro.net.message import MessageKind
+from tests.conftest import build_cluster, run_to_completion
+
+ROOT = 0
+
+
+def _cross_create(cluster, proc, name: str) -> FileOperation:
+    """A CREATE whose inode lands off the dirent server (cross-server)."""
+    placement = cluster.placement
+    dsrv = placement.dirent_server(ROOT, name)
+    other = (dsrv + 1) % len(cluster.servers)
+    return FileOperation(
+        OpType.CREATE,
+        proc.new_op_id(),
+        parent=ROOT,
+        name=name,
+        target=placement.allocate_handle(other),
+    )
+
+
+def _run_with_dup_commit_req(extra_delay: float):
+    cluster = build_cluster(protocol="cx", num_servers=4)
+    dups = {"n": 0}
+
+    def dup_commit_req(msg):
+        if msg.kind is MessageKind.COMMIT_REQ:
+            dups["n"] += 1
+            return ("dup", extra_delay)
+        return None
+
+    cluster.network.fault_hook = dup_commit_req
+
+    proc = cluster.client_process(0, 0)
+    ops = [_cross_create(cluster, proc, f"dup-ack-{i}") for i in range(12)]
+    runner = cluster.run_ops(proc, ops)
+    results = run_to_completion(cluster, runner)
+    # Drain the lazy commitments so every COMMIT-REQ (and its duplicate)
+    # has been delivered and handled before we assert.
+    cluster.quiesce_protocol(timeout=10.0)
+    return cluster, results, dups["n"]
+
+
+def test_duplicate_commit_req_does_not_crash():
+    # Pre-fix this raised ValueError("Cx server got unexpected
+    # MessageKind.ACK") out of the participant's dispatch loop as soon
+    # as the first duplicated COMMIT-REQ's second ACK landed.
+    cluster, results, dup_count = _run_with_dup_commit_req(0.0005)
+    assert dup_count > 0, "fault hook never saw a COMMIT-REQ"
+    assert all(r.ok for r in results)
+    unsolicited = sum(
+        s.metrics.counter("acks.unsolicited").value for s in cluster.servers
+    )
+    assert unsolicited == dup_count
+
+
+def test_duplicate_commit_req_instant_redelivery():
+    # Zero extra delay: both copies arrive back-to-back in the same
+    # delivery batch — the tightest window for the dispatcher.
+    cluster, results, dup_count = _run_with_dup_commit_req(0.0)
+    assert dup_count > 0
+    assert all(r.ok for r in results)
+
+
+def test_namespace_consistent_after_duplicates():
+    # The commit decision is idempotent: the duplicated decision must
+    # not double-apply (nlink, dirent) anywhere.
+    cluster, results, _ = _run_with_dup_commit_req(0.001)
+    from repro.analysis.consistency import check_namespace_invariants
+
+    assert all(r.ok for r in results)
+    violations = check_namespace_invariants(cluster)
+    assert not violations, [str(v) for v in violations]

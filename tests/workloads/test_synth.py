@@ -1,0 +1,211 @@
+"""Streaming synthetic workload generator: determinism, skew, memory."""
+
+from __future__ import annotations
+
+import gc
+
+import pytest
+
+from repro import Cluster, SimParams
+from repro.fs.ops import FileOperation, OpType
+from repro.protocols import get_protocol
+from repro.workloads.synth import (
+    SYNTH_MIXES,
+    SynthSpec,
+    SynthWorkload,
+    op_fingerprint,
+)
+
+
+def _cluster(protocol: str = "cx", num_servers: int = 8,
+             lazy: bool = False) -> Cluster:
+    return Cluster.build(
+        num_servers=num_servers,
+        num_clients=2,
+        protocol=get_protocol(protocol),
+        params=SimParams(commit_timeout=0.05),
+        procs_per_client=2,
+        seed=1,
+        lazy_servers=lazy,
+    )
+
+
+def _fingerprints(cluster: Cluster, mix: str = "mixed", total_ops: int = 400,
+                  seed: int = 7, **kw) -> list:
+    wl = SynthWorkload(SYNTH_MIXES[mix], total_ops=total_ops, seed=seed, **kw)
+    streams = wl.streams(cluster, cluster.all_processes())
+    return [[op_fingerprint(op) for op in stream]
+            for stream in streams.values()]
+
+
+class TestDeterminism:
+    def test_same_seed_identical_streams(self):
+        a = _fingerprints(_cluster())
+        b = _fingerprints(_cluster())
+        assert a == b
+
+    def test_streams_independent_of_protocol(self):
+        # The generator must be a pure function of (spec, seed, pidx)
+        # and the placement hash — never of the protocol under test.
+        per_protocol = [
+            _fingerprints(_cluster(protocol=p))
+            for p in ("cx", "ofs", "ofs-batched")
+        ]
+        assert per_protocol[0] == per_protocol[1] == per_protocol[2]
+
+    def test_streams_independent_of_lazy_build(self):
+        assert _fingerprints(_cluster(lazy=False)) == _fingerprints(
+            _cluster(lazy=True)
+        )
+
+    def test_different_seed_differs(self):
+        assert _fingerprints(_cluster(), seed=7) != _fingerprints(
+            _cluster(), seed=8
+        )
+
+    def test_jobs_invariant_summaries(self):
+        # The same grid through 1 worker and 2 workers must produce
+        # identical measurements (summaries are pure data).
+        from repro.runner import ReplayTask, run_tasks
+
+        tasks = [
+            ReplayTask(kind="synth", protocol=p, num_servers=8, mix="flood",
+                       total_ops=800, seed=5, num_clients=2,
+                       procs_per_client=2)
+            for p in ("cx", "ofs")
+        ]
+        serial = run_tasks(tasks, jobs=1).summaries
+        parallel = run_tasks(tasks, jobs=2).summaries
+        for a, b in zip(serial, parallel):
+            assert (a.protocol, a.total_ops, a.replay_time, a.messages,
+                    a.cross_server_ops, a.latency_p99) == (
+                b.protocol, b.total_ops, b.replay_time, b.messages,
+                b.cross_server_ops, b.latency_p99)
+
+
+class TestShape:
+    def test_zipf_hotspot_skew(self):
+        # Higher Zipf exponent concentrates ops on the top-ranked hot
+        # directory; near-zero exponent is near-uniform.
+        def top_dir_share(zipf_s: float) -> float:
+            cluster = _cluster()
+            wl = SynthWorkload(SYNTH_MIXES["flood"], total_ops=4000,
+                               seed=3, zipf_s=zipf_s)
+            streams = wl.streams(cluster, cluster.all_processes())
+            top = wl.hot[0]
+            hits = total = 0
+            for stream in streams.values():
+                for op in stream:
+                    if op.parent in wl.hot or (
+                        op.new_parent is not None and op.new_parent in wl.hot
+                    ):
+                        total += 1
+                        if top in (op.parent, op.new_parent):
+                            hits += 1
+            return hits / total
+
+        skewed = top_dir_share(1.4)
+        flat = top_dir_share(0.1)
+        assert skewed > 2 * flat
+        assert skewed > 0.15  # rank 1 of 64 dominates under s=1.4
+
+    def test_cross_frac_knob_moves_plan_crossings(self):
+        def observed_cross(frac: float) -> float:
+            cluster = _cluster()
+            wl = SynthWorkload(SYNTH_MIXES["flood"], total_ops=2000,
+                               seed=11, cross_frac=frac)
+            streams = wl.streams(cluster, cluster.all_processes())
+            cross = total = 0
+            for stream in streams.values():
+                for op in stream:
+                    if op.op_type is OpType.CREATE:
+                        total += 1
+                        if cluster.plan(op).cross_server:
+                            cross += 1
+            return cross / total
+
+        lo = observed_cross(0.0)
+        hi = observed_cross(0.9)
+        assert lo == 0.0  # forced co-placement: no create crosses
+        assert hi > 0.8
+
+    def test_mix_proportions_roughly_hold(self):
+        cluster = _cluster()
+        wl = SynthWorkload(SYNTH_MIXES["mixed"], total_ops=8000, seed=2)
+        streams = wl.streams(cluster, cluster.all_processes())
+        counts: dict = {}
+        total = 0
+        for stream in streams.values():
+            for op in stream:
+                counts[op.op_type] = counts.get(op.op_type, 0) + 1
+                total += 1
+        # CREATE exceeds its mix weight (it substitutes for REMOVE /
+        # RENAME on an empty pool); read-only weights hold within 25%.
+        for op_type in (OpType.STAT, OpType.LOOKUP):
+            want = SYNTH_MIXES["mixed"].op_mix[op_type]
+            assert counts[op_type] / total == pytest.approx(want, rel=0.25)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="sums to"):
+            SynthSpec(name="bad", op_mix={OpType.CREATE: 0.5})
+        with pytest.raises(ValueError, match="unsupported"):
+            SynthSpec(name="bad", op_mix={OpType.MKDIR: 1.0})
+        with pytest.raises(ValueError, match="cross_frac"):
+            SynthSpec(name="bad", op_mix={OpType.CREATE: 1.0},
+                      cross_frac=1.5)
+
+
+class TestStreamingMemory:
+    def test_generator_does_not_accumulate_ops(self):
+        # Drain a long stream without keeping the ops: the number of
+        # live FileOperation objects must stay O(1) — the generator
+        # tracks (parent, name, handle) tuples in a bounded pool, never
+        # the operations themselves.
+        cluster = _cluster(num_servers=4)
+        wl = SynthWorkload(SYNTH_MIXES["flood"], total_ops=20_000, seed=9)
+        streams = wl.streams(cluster, cluster.all_processes())
+        stream = next(iter(streams.values()))
+        gc.collect()
+        before = sum(
+            1 for o in gc.get_objects() if isinstance(o, FileOperation)
+        )
+        drained = 0
+        for _op in stream:
+            drained += 1
+        del _op
+        gc.collect()
+        after = sum(
+            1 for o in gc.get_objects() if isinstance(o, FileOperation)
+        )
+        assert drained == wl.per_process_ops(4)
+        assert after - before <= 2
+
+    def test_setup_cost_independent_of_total_ops(self):
+        # The preloaded namespace depends on the spec, not the stream
+        # length: a million-op workload sets up exactly like a 1k one.
+        small = _cluster()
+        wl_small = SynthWorkload(SYNTH_MIXES["flood"], total_ops=1000, seed=1)
+        wl_small.setup(small, small.all_processes())
+        big = _cluster()
+        wl_big = SynthWorkload(
+            SYNTH_MIXES["flood"], total_ops=1_000_000, seed=1
+        )
+        wl_big.setup(big, big.all_processes())
+        assert wl_small.hot == wl_big.hot
+        assert wl_small.shared == wl_big.shared
+
+
+class TestLazyScale:
+    def test_256_server_cell_materializes_lazily(self):
+        # A narrow workload (4 hot dirs, no forced crossings, 4 procs)
+        # on a 256-server lazy cluster must leave most servers unbuilt.
+        from repro.runner import ReplayTask, execute_task
+
+        summary = execute_task(ReplayTask(
+            kind="synth", protocol="cx", num_servers=256, mix="flood",
+            total_ops=400, seed=1, num_clients=2, procs_per_client=2,
+            hot_dirs=4, cross_frac=0.0,
+        ))
+        assert summary.num_servers == 256
+        assert 0 < summary.servers_materialized < 256
+        assert summary.failed_ops == 0
