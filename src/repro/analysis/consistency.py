@@ -35,7 +35,7 @@ class ConsistencyViolation:
         return f"[{self.kind}] {self.detail}"
 
 
-def _gather(cluster: "Cluster", durable_only: bool = False):
+def gather_items(cluster: "Cluster", durable_only: bool = False):
     """Collect (dirents, inodes) across all servers' shards."""
     dirents: Dict[Tuple[int, str], DirEntry] = {}
     inodes: Dict[int, Inode] = {}
@@ -59,27 +59,46 @@ def _gather(cluster: "Cluster", durable_only: bool = False):
     return dirents, inodes
 
 
-def check_namespace_invariants(
-    cluster: "Cluster",
-    durable_only: bool = False,
-    known_dirs: Optional[Iterable[int]] = None,
-) -> List[ConsistencyViolation]:
-    """Referential-integrity check over the whole namespace.
+#: Backward-compatible private alias (recovery and older tests import it).
+_gather = gather_items
 
-    ``known_dirs`` lists directory handles created during setup
-    (preloaded), whose inodes may legitimately lack entries.
+
+def classify_namespace(
+    dirents: Dict[Tuple[int, str], DirEntry],
+    inodes: Dict[int, Inode],
+    known: Iterable[int] = (),
+    transient_targets: Iterable[int] = (),
+) -> List[ConsistencyViolation]:
+    """Classify referential-integrity breaks in a gathered namespace.
+
+    ``known`` lists directory handles created during setup (preloaded),
+    whose inodes may legitimately lack entries.  ``transient_targets``
+    lists inode handles owned by operations that are still *in flight*
+    — pending, parked for decision re-delivery, or mid-retry — whose
+    halves are allowed to disagree until the protocol resolves them.
+    Breaks on those handles classify as ``transient-*`` kinds (pending
+    window) rather than the terminal kinds the oracle alarms on.
+
+    This is the single classification authority: the recovery
+    orphan-scan and the fuzz/analysis oracles both call it, so a rule
+    change cannot diverge between "what recovery repairs" and "what the
+    oracle flags".
     """
     violations: List[ConsistencyViolation] = []
-    dirents, inodes = _gather(cluster, durable_only)
-    known = set(known_dirs or ())
+    known = set(known)
+    transient = set(transient_targets)
 
     link_counts: Dict[int, int] = {}
     for (parent, name), ent in dirents.items():
         link_counts[ent.target] = link_counts.get(ent.target, 0) + 1
         if ent.target not in inodes:
+            kind = (
+                "transient-entry" if ent.target in transient
+                else "dangling-entry"
+            )
             violations.append(
                 ConsistencyViolation(
-                    "dangling-entry",
+                    kind,
                     f"entry ({parent},{name!r}) -> {ent.target} but no inode",
                 )
             )
@@ -89,19 +108,51 @@ def check_namespace_invariants(
             continue  # directory stubs' nlink is not globally meaningful
         have = link_counts.get(handle, 0)
         if have == 0 and handle not in known:
+            kind = (
+                "transient-orphan" if handle in transient else "orphan-inode"
+            )
             violations.append(
                 ConsistencyViolation(
-                    "orphan-inode", f"inode {handle} (nlink={inode.nlink}) has no entry"
+                    kind, f"inode {handle} (nlink={inode.nlink}) has no entry"
                 )
             )
         elif have and inode.nlink != have:
+            kind = (
+                "transient-nlink" if handle in transient else "nlink-mismatch"
+            )
             violations.append(
                 ConsistencyViolation(
-                    "nlink-mismatch",
+                    kind,
                     f"inode {handle} nlink={inode.nlink} but {have} entries",
                 )
             )
     return violations
+
+
+def is_transient(violation: ConsistencyViolation) -> bool:
+    """True for pending-window breaks an in-flight op will still fix."""
+    return violation.kind.startswith("transient-")
+
+
+def check_namespace_invariants(
+    cluster: "Cluster",
+    durable_only: bool = False,
+    known_dirs: Optional[Iterable[int]] = None,
+    transient_targets: Optional[Iterable[int]] = None,
+) -> List[ConsistencyViolation]:
+    """Referential-integrity check over the whole namespace.
+
+    ``known_dirs`` lists directory handles created during setup
+    (preloaded), whose inodes may legitimately lack entries;
+    ``transient_targets`` marks handles of still-in-flight operations
+    (see :func:`classify_namespace`).
+    """
+    dirents, inodes = gather_items(cluster, durable_only)
+    return classify_namespace(
+        dirents, inodes,
+        known=set(known_dirs or ()),
+        transient_targets=set(transient_targets or ()),
+    )
 
 
 def check_atomicity(

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from repro.net.message import MessageKind
 from repro.net.network import Node
+from repro.obs.registry import MetricsRegistry
 from repro.sim import Interrupt, Process
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -45,6 +46,11 @@ class FailureDetector:
         self.misses_to_declare = misses_to_declare
         self.on_crash = on_crash
         self.monitor_node = Node(cluster.sim, cluster.network, "fd-monitor")
+        self.tracer = cluster.tracer
+        #: The monitor's own metrics (servers own theirs): probe failures
+        #: must be visible, not silently swallowed.
+        self.metrics = MetricsRegistry("fd-monitor")
+        self._m_probe_failed = None
         #: server index -> consecutive missed heartbeats
         self.misses: Dict[int, int] = {s.index: 0 for s in cluster.servers}
         #: servers currently declared crashed
@@ -97,21 +103,39 @@ class FailureDetector:
         except Interrupt:
             return
 
+    def _probe_failed(self, node_id: str, reason: str) -> None:
+        """Record a failed probe: counter + tracer event, never silent."""
+        m = self._m_probe_failed
+        if m is None:
+            m = self._m_probe_failed = self.metrics.counter("probe.failed")
+        m.inc()
+        if self.tracer.enabled:
+            self.tracer.event(
+                "probe.failed", "fd-monitor", cat="detector",
+                target=node_id, reason=reason,
+            )
+
     def _probe(self, node_id: str):
         """One ping; False on connection error or probe timeout."""
         sim = self.cluster.sim
         try:
             req = self.monitor_node.request(node_id, MessageKind.PING, {})
         except Exception:  # pragma: no cover - defensive
+            self._probe_failed(node_id, "send-error")
             return False
         try:
             winner, _value = yield sim.any_of([req, sim.timeout(self.interval)])
         except ConnectionError:
+            # Dead-lettered: the target is down *right now* — exactly
+            # the signal a failure detector exists to surface.
+            self._probe_failed(node_id, "connection-error")
             return False
         if winner is not req:
             # Probe timed out; abandon the RPC (a late PONG is dropped by
             # the one-shot matcher).
+            self._probe_failed(node_id, "timeout")
             return False
         if req.ok is False:
+            self._probe_failed(node_id, "rpc-failed")
             return False
         return True

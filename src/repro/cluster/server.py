@@ -329,6 +329,7 @@ class MetadataServer(Node):
         cpu_dispatch = self.params.cpu_dispatch
         ping = MessageKind.PING
         req = MessageKind.REQ
+        resolicit = MessageKind.RESOLICIT
         pool = self._slot_pool
         handlers = self._handlers
         while True:
@@ -342,7 +343,10 @@ class MetadataServer(Node):
                 # even while quiesced.
                 self.send_reply(msg, MessageKind.PONG, {})
                 continue
-            if self.quiesced and kind is req:
+            if self.quiesced and (kind is req or kind is resolicit):
+                # RESOLICITs join client requests in the quiesce buffer:
+                # answering one from half-rebuilt recovery tables could
+                # wrongly abort an op the log still knows about.
                 self._quiesce_buffer.append(msg)
                 continue
             yield timeout_h(cpu_dispatch)

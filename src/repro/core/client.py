@@ -70,6 +70,20 @@ def cx_client_perform(
                 span_id=op_sid,
             )
 
+    # Mutable cell shared with receive(): whether an L-COM went out.  A
+    # retry must re-drive the whole conversation the client is waiting
+    # on — an L-COM whose ALL-NO died with a crashed coordinator would
+    # otherwise never be re-asked and the operation would wedge.
+    state = {"lcom": False}
+
+    def send_lcom():
+        node.send(
+            cluster.server_id(plan.coordinator),
+            MessageKind.L_COM,
+            {"op": op_id, "want_all_no": True},
+            span_id=op_sid,
+        )
+
     def receive():
         """Get the next response, resending requests on timeout."""
         if retry_timeout is None:
@@ -84,6 +98,8 @@ def cx_client_perform(
             if winner is pending_get:
                 return value
             send_requests()  # duplicate REQs are deduplicated server-side
+            if state["lcom"]:
+                send_lcom()  # idempotent at the coordinator
 
     try:
         send_requests()
@@ -105,7 +121,6 @@ def cx_client_perform(
 
         latest: Dict[str, dict] = {}
         conflicted = False
-        lcom_sent = False
         while True:
             if retry_timeout is None:
                 msg = yield channel.get_h()
@@ -137,19 +152,14 @@ def cx_client_perform(
                 return OpResult(ok=False, errno=errno, conflicted=conflicted)
             # Disagreement: ask the coordinator for an immediate
             # commitment; the ALL-NO closes the operation.
-            if not lcom_sent:
-                lcom_sent = True
+            if not state["lcom"]:
+                state["lcom"] = True
                 if tracer.enabled:
                     tracer.event(
                         "client-lcom", node.node_id, cat="protocol",
                         op_id=op_id, parent=op_sid, ok_coord=ok_c, ok_part=ok_p,
                     )
-                node.send(
-                    cluster.server_id(plan.coordinator),
-                    MessageKind.L_COM,
-                    {"op": op_id, "want_all_no": True},
-                    span_id=op_sid,
-                )
+                send_lcom()
     finally:
         if op_span is not None:
             op_span.end()

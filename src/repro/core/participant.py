@@ -52,16 +52,20 @@ class ParticipantHalf:
         self._m_votes_deferred = None
         self._m_invalidations = None
         self._m_decisions = None
-        #: Votes waiting for an op to execute here: op_id -> events.
-        self._vote_waiters: Dict[OpId, List[Event]] = {}
+        self._m_votes_lost = None
+        self._m_resolicits = None
+        #: Votes waiting for an op to execute here:
+        #: op_id -> [(event, armed_at virtual time)].
+        self._vote_waiters: Dict[OpId, List[Tuple[Event, float]]] = {}
         self.invalidations = 0
         self.deferred_votes = 0
+        self.resolicits = 0
 
     def on_crash(self) -> None:
         self._vote_waiters.clear()
 
     def fulfill_vote_waiters(self, op_id: OpId) -> None:
-        for ev in self._vote_waiters.pop(op_id, ()):
+        for ev, _armed_at in self._vote_waiters.pop(op_id, ()):
             if not ev.triggered:
                 ev.succeed()
 
@@ -85,7 +89,8 @@ class ParticipantHalf:
         pending = role.pending
         ops = msg.payload["ops"]
         for op_id in ops:
-            if op_id not in pending:
+            pend = pending.get(op_id)
+            if pend is None or not pend.logged:
                 return False
         server = role.server
         tracer = self.tracer
@@ -119,7 +124,35 @@ class ParticipantHalf:
         for op_id in msg.payload["ops"]:
             pend = role.pending.get(op_id)
             if pend is None:
+                done = role.completed.get(op_id)
+                if done is not None:
+                    # Already decided here (a coordinator that lost its
+                    # decision record is re-asking): the vote must echo
+                    # the decided outcome, never re-open the question.
+                    votes[op_id] = {
+                        "ok": done["committed"],
+                        "errno": done["errno"],
+                        "decided": True,
+                    }
+                    continue
+            if pend is None or not pend.logged:
                 pend = yield from self._materialize(op_id)
+            if pend is None:
+                # The op never arrived within the vote-retry window: its
+                # request died with a crashed process/wire.  Vote an
+                # explicit lost-abort so the coordinator can resolve the
+                # batch instead of wedging forever.
+                votes[op_id] = {"ok": False, "errno": "ELOST", "lost": True}
+                m = self._m_votes_lost
+                if m is None:
+                    m = self._m_votes_lost = self.metrics.counter("votes.lost")
+                m.inc()
+                if tracer.enabled:
+                    tracer.event(
+                        "vote.lost", server.node_id, cat="protocol",
+                        op_id=op_id,
+                    )
+                continue
             votes[op_id] = {"ok": pend.ok, "errno": pend.result.errno}
             # Once voted, the op may no longer be invalidated.
             pend.state = PendingState.COMMITTING
@@ -141,31 +174,41 @@ class ParticipantHalf:
         role.server.send_reply(msg, MessageKind.YES, {"votes": votes}, size=size)
 
     def _materialize(self, op_id: OpId) -> Generator:
-        """Get the voted op executed here, whatever its current state."""
+        """Get the voted op executed here, whatever its current state.
+
+        Returns ``None`` when the wait is abandoned by the vote-retry
+        timer (the op's request never arrived and never will — it died
+        with a crashed process or a partitioned wire)."""
         role = self.role
         while True:
             pend = role.pending.get(op_id)
-            if pend is not None:
+            if pend is not None and pend.logged:
                 return pend
-            blocked = self._find_blocked(op_id)
-            if blocked is not None:
-                holder, blocked_msg = blocked
-                holder_pend = role.pending.get(holder)
-                if (
-                    holder_pend is not None
-                    and holder_pend.state is PendingState.EXECUTED
-                ):
-                    # Disordered conflict: enforce the coordinator's order.
-                    # Detach the voted request first so the invalidation's
-                    # requeue does not double-dispatch it.
-                    role.active.unblock_one(holder, blocked_msg)
-                    self.invalidate(holder_pend)
-                    pend = yield from role.execute_now(blocked_msg)
-                    return pend
-                # Holder is mid-commitment: once it resolves, the blocked
-                # request is re-injected and executes; wait for that.
+            if pend is None:
+                blocked = self._find_blocked(op_id)
+                if blocked is not None:
+                    holder, blocked_msg = blocked
+                    holder_pend = role.pending.get(holder)
+                    if (
+                        holder_pend is not None
+                        and holder_pend.state is PendingState.EXECUTED
+                    ):
+                        # Disordered conflict: enforce the coordinator's
+                        # order.  Detach the voted request first so the
+                        # invalidation's requeue does not double-dispatch
+                        # it.
+                        role.active.unblock_one(holder, blocked_msg)
+                        self.invalidate(holder_pend)
+                        pend = yield from role.execute_now(blocked_msg)
+                        return pend
+                    # Holder is mid-commitment: once it resolves, the
+                    # blocked request is re-injected and executes; wait
+                    # for that.
+            # (pend exists but its Result-Record is not durable yet:
+            # wait for the append to land — execute_now fulfills the
+            # waiters right after it.)
             ev = Event(role.sim)
-            self._vote_waiters.setdefault(op_id, []).append(ev)
+            self._vote_waiters.setdefault(op_id, []).append((ev, role.sim.now))
             self.deferred_votes += 1
             m = self._m_votes_deferred
             if m is None:
@@ -176,7 +219,9 @@ class ParticipantHalf:
                     "vote.deferred", role.server.node_id, cat="protocol",
                     op_id=op_id,
                 )
-            yield ev
+            val = yield ev
+            if val == "abandon":
+                return None
 
     def _find_blocked(self, op_id: OpId) -> Optional[Tuple[OpId, Message]]:
         """Locate ``op_id``'s blocked request and its holder, if any."""
@@ -269,14 +314,20 @@ class ParticipantHalf:
 
         if appends:
             yield role.sim.all_of(appends)
-        # Terminal for the participant: prune, then write back the
-        # decided operations' objects.
-        for op_id in decisions:
-            role.server.wal.prune_op(op_id)
+        # Write back the decided operations' objects *before* pruning:
+        # a crash after the prune must never find volatile updates whose
+        # Result-Records are already gone from the log.
         keys = [k for pend, _c in to_release for k, _v in pend.result.updates]
         flush = role.server.kv.flush_keys(keys)
         if flush is not None:
             yield flush
+        # Terminal for the participant: its records become prunable.
+        # Only the ops decided *by this call*: a duplicate decide (or
+        # one racing a crash that already tore the pending table down)
+        # must not blanket-prune — the op's Result-Record may be the
+        # only redo copy recovery has left.
+        for pend, _commit in to_release:
+            role.server.wal.prune_op(pend.op_id)
         if tracer.enabled:
             for pend, _commit in to_release:
                 tracer.event(
@@ -293,3 +344,80 @@ class ParticipantHalf:
         role.server.send_reply(
             msg, MessageKind.ACK, {"acked": list(decisions)}, size=size
         )
+
+    # -- vote-retry timer ---------------------------------------------------
+
+    def scan_overdue(self) -> None:
+        """Liveness scan, piggybacked on the commit-trigger timer fire.
+
+        Two jobs (paper §III.B's implicit "the participant eventually
+        learns the decision" guarantee, made explicit):
+
+        * part-role operations whose commitment decision is overdue
+          re-solicit their coordinator with a RESOLICIT (fire-and-forget;
+          backoff doubles per retry up to ``vote_retry_timeout *
+          vote_retry_backoff_cap``) — this unwedges ops whose VOTE, YES,
+          or decision died with a crashed coordinator or a partition;
+        * deferred votes for operations that never arrived within the
+          retry window are abandoned, so :meth:`handle_vote` answers a
+          lost-vote abort instead of waiting forever on a request that
+          died on the wire.
+
+        Runs no sim events of its own: fault-free replays see zero
+        schedule change.  Suppressed while this server is quiesced for
+        a peer's recovery (the coordinator's state is in flux; the
+        post-recovery scan fires soon enough).
+        """
+        role = self.role
+        params = role.params
+        vrt = params.vote_retry_timeout
+        if vrt is None or role.server.quiesced:
+            return
+        now = role.sim.now
+        if role.pending:
+            cap = vrt * params.vote_retry_backoff_cap
+            for pend in list(role.pending.values()):
+                if pend.role != "part":
+                    continue
+                due = pend.resolicit_at
+                if due is None:
+                    # First sighting: arm the timer, don't fire yet.
+                    pend.resolicit_at = now + vrt
+                    pend.resolicit_backoff = vrt
+                    continue
+                if now < due:
+                    continue
+                backoff = min((pend.resolicit_backoff or vrt) * 2.0, cap)
+                pend.resolicit_backoff = backoff
+                pend.resolicit_at = now + backoff
+                self.resolicits += 1
+                m = self._m_resolicits
+                if m is None:
+                    m = self._m_resolicits = self.metrics.counter(
+                        "votes.resolicited"
+                    )
+                m.inc()
+                coord_node = role.cluster.server_id(pend.other_server)
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "vote.resolicit", role.server.node_id, cat="protocol",
+                        op_id=pend.op_id, peer=coord_node,
+                    )
+                role.server.send(
+                    coord_node, MessageKind.RESOLICIT, {"op": pend.op_id},
+                )
+        if self._vote_waiters:
+            for op_id in list(self._vote_waiters):
+                if op_id in role.pending:
+                    continue  # arrived: the fulfill path owns these
+                keep: List[Tuple[Event, float]] = []
+                for ev, armed_at in self._vote_waiters[op_id]:
+                    if now - armed_at >= vrt:
+                        if not ev.triggered:
+                            ev.succeed("abandon")
+                    else:
+                        keep.append((ev, armed_at))
+                if keep:
+                    self._vote_waiters[op_id] = keep
+                else:
+                    del self._vote_waiters[op_id]

@@ -33,6 +33,22 @@ class RecordType(str, enum.Enum):
     COMPLETE = "COMPLETE"
 
 
+class StaleEpoch(Exception):
+    """The server crashed underneath a long-lived protocol generator.
+
+    Commitment batches, parked-decision re-deliveries, and the recovery
+    pass all run as free simulator processes — a crash interrupts the
+    server's message-handler slots but cannot reach into these.  Worse,
+    a WAL flush that was in flight at the crash still fires its
+    completion handles when the disk IO lands, so such a generator can
+    *wake up* after the crash and act on records the crash already tore
+    out of the log (emit a decision, message a peer) — a zombie writing
+    protocol history for a dead server.  Every such generator snapshots
+    ``role.epoch`` when it starts and raises this after any yield that
+    observed a newer epoch; owners unwind without side effects.
+    """
+
+
 class PendingState(str, enum.Enum):
     #: Executed and logged; commitment not yet launched.
     EXECUTED = "executed"
@@ -77,6 +93,7 @@ class PendingOp:
         "keys", "state", "hint", "req_msg", "all_no_dst",
         "last_response", "waiters", "lcom_sent", "immediate_requested",
         "vote_errno", "enqueued_at", "commit_span", "exec_span_id",
+        "logged", "decided", "resolicit_at", "resolicit_backoff",
     )
 
     def __init__(
@@ -143,6 +160,20 @@ class PendingOp:
         #: Span id of this op's execution span here (the causal parent
         #: of its eventual commitment; None without a tracer).
         self.exec_span_id = exec_span_id
+        #: True once the Result-Record is durable.  A participant may
+        #: only vote on durable results (a YES whose record is still in
+        #: flight could not be honored after a crash).
+        self.logged = False
+        #: Coordinator-role only: the logged commitment decision, set
+        #: the moment the Commit/Abort record is appended.  Once set,
+        #: retry paths must re-deliver this decision — never re-vote.
+        self.decided: Optional[bool] = None
+        #: Participant-role only: virtual time of the next re-solicit
+        #: toward the coordinator (armed by the trigger scan).
+        self.resolicit_at: Optional[float] = None
+        #: Current re-solicit backoff interval (doubles per retry, up
+        #: to ``vote_retry_timeout * vote_retry_backoff_cap``).
+        self.resolicit_backoff: Optional[float] = None
 
     def __repr__(self) -> str:
         return (

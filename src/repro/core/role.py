@@ -50,6 +50,7 @@ class CxRole(ServerRole):
         self._m_conflicts = None
         self._m_disagreements = None
         self._m_unsolicited_acks = None
+        self._m_resolicit_aborts = None
         self._trigger_meters: Dict[str, object] = {}
         #: Executed-but-uncommitted operations known to this server.
         self.pending: Dict[OpId, PendingOp] = {}
@@ -65,10 +66,25 @@ class CxRole(ServerRole):
             timeout=self.params.commit_timeout,
             threshold=self.params.commit_threshold,
             on_fire=self._on_trigger_fire,
+            scan=self._liveness_scan,
         )
+        #: Crash generation.  Free-running protocol generators (batch
+        #: commitments, parked re-delivery, recovery) snapshot this and
+        #: unwind via StaleEpoch when a crash bumps it underneath them
+        #: — see :class:`~repro.core.records.StaleEpoch`.
+        self.epoch = 0
         #: Op ids currently blocked on this server (duplicate-REQ guard).
         self._blocked_ops: Set[OpId] = set()
+        #: Op ids mid-execution (between dispatch and the pending-table
+        #: registration): duplicate REQs in this window must be dropped,
+        #: not re-executed (double execution corrupts the namespace).
+        self._executing: Set[OpId] = set()
         server.wal.on_full = self._on_log_full
+
+    def _liveness_scan(self) -> None:
+        """Timer-fire piggyback: vote-retry + parked-decision scans."""
+        self.participant.scan_overdue()
+        self.commit_mgr.scan_parked()
 
     def _on_trigger_fire(self, kind: str) -> None:
         m = self._trigger_meters.get(kind)
@@ -94,11 +110,13 @@ class CxRole(ServerRole):
         self.commit_mgr.launch_all("flush-now")
 
     def on_crash(self) -> None:
+        self.epoch += 1
         self.triggers.stop()
         self.pending.clear()
         self.completed.clear()
         self.active.clear()
         self._blocked_ops.clear()
+        self._executing.clear()
         self.commit_mgr.on_crash()
         self.participant.on_crash()
 
@@ -130,8 +148,12 @@ class CxRole(ServerRole):
             self.server.unquiesce()
             self.server.send_reply(msg, MessageKind.ACK, {})
             return True
-        if kind is MessageKind.ACK:
+        if (kind is MessageKind.ACK or kind is MessageKind.YES
+                or kind is MessageKind.NO):
             self._drop_unsolicited_ack()
+            return True
+        if kind is MessageKind.RESOLICIT:
+            self._handle_resolicit(msg)
             return True
         return False
 
@@ -151,10 +173,68 @@ class CxRole(ServerRole):
         elif kind is MessageKind.RECOVERY_END:
             self.server.unquiesce()
             self.server.send_reply(msg, MessageKind.ACK, {})
-        elif kind is MessageKind.ACK:
+        elif (kind is MessageKind.ACK or kind is MessageKind.YES
+                or kind is MessageKind.NO):
+            # A vote reply whose RPC waiter was defused (commit-RPC
+            # watchdog fired, or the coordinator rebooted) lands here
+            # unsolicited; the re-vote carries the same answer again.
             self._drop_unsolicited_ack()
+        elif kind is MessageKind.RESOLICIT:
+            self._handle_resolicit(msg)
         else:  # pragma: no cover - protocol error
             raise ValueError(f"Cx server got unexpected {kind}")
+
+    def _handle_resolicit(self, msg: Message) -> None:
+        """A participant's vote-retry timer asks us to resolve its op.
+
+        Idempotent by construction: every branch re-answers from
+        durable or in-flight state, never re-decides.
+
+        * completed here → re-deliver the logged decision (the ACK the
+          participant sends back lands as an unsolicited ACK, which the
+          existing drop-and-count path swallows);
+        * pending and decided → the decision is parked; the trigger
+          scan owns re-delivery;
+        * pending, undecided, not committing → launch the commitment;
+        * committing → the in-flight exchange resolves it;
+        * in our log but not in the tables (mid-recovery) → stay quiet,
+          the participant's backoff re-asks after recovery;
+        * truly unknown → our crash lost the op before its Result-Record
+          was durable, so no commit can ever have been decided: answer
+          an explicit ABORT so the participant can unwedge.
+        """
+        op_id = msg.payload["op"]
+        done = self.completed.get(op_id)
+        if done is not None:
+            self.server.send(
+                msg.src,
+                MessageKind.COMMIT_REQ,
+                {"decisions": {op_id: done["committed"]}},
+            )
+            return
+        pend = self.pending.get(op_id)
+        if pend is not None:
+            if pend.decided is not None:
+                return
+            if pend.state is PendingState.EXECUTED:
+                self.commit_mgr.request_immediate(op_id)
+            return
+        if op_id in self._executing or self.server.wal.records_of(op_id):
+            return
+        m = self._m_resolicit_aborts
+        if m is None:
+            m = self._m_resolicit_aborts = self.metrics.counter(
+                "resolicit.aborted_unknown"
+            )
+        m.inc()
+        if self.tracer.enabled:
+            self.tracer.event(
+                "resolicit.abort", self.server.node_id, cat="protocol",
+                op_id=op_id, src=msg.src,
+            )
+        self.server.send(
+            msg.src, MessageKind.COMMIT_REQ, {"decisions": {op_id: False}}
+        )
 
     def _drop_unsolicited_ack(self) -> None:
         """Swallow an ACK whose RPC slot was already consumed.
@@ -272,6 +352,11 @@ class CxRole(ServerRole):
 
     def _resend_duplicate(self, msg: Message, subop) -> bool:
         op_id = subop.op_id
+        if op_id in self._executing:
+            # Mid-execution window: the first copy is between dispatch
+            # and pending-table registration.  Re-executing would apply
+            # the op twice; drop the dup, the original answers.
+            return True
         pend = self.pending.get(op_id)
         if pend is not None and pend.subop.role == subop.role:
             if pend.last_response is not None:
@@ -312,6 +397,10 @@ class CxRole(ServerRole):
         subop = mp["subop"]
         op_id = subop.op_id
         self._blocked_ops.discard(op_id)
+        # Guard the dispatch→pending window against duplicate REQs
+        # (registered before the first yield; dropped again once the
+        # pending entry exists and owns duplicate handling).
+        self._executing.add(op_id)
         if keys is None:
             keys = conflict_keys(subop)
         cross = subop.role in ("coord", "part")
@@ -370,6 +459,7 @@ class CxRole(ServerRole):
             req_msg=msg,
         )
         self.pending[op_id] = pend
+        self._executing.discard(op_id)
         self.commit_mgr.adopt_pre_request(pend)
         # Durable Result-Record before the response; this append blocks
         # when the log is full (Fig. 7(a)'s effect).
@@ -392,6 +482,9 @@ class CxRole(ServerRole):
             record_span.end()
         else:
             yield self.server.wal.append_h(record)
+        # Result-Record durable: the op may now be voted on (a YES on a
+        # volatile record could not be honored after a crash).
+        pend.logged = True
 
         # The ResponseHint block, built directly into the payload (the
         # dataclass + to_payload() + dict-merge detour costs a dict and

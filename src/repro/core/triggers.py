@@ -29,6 +29,7 @@ class CommitTriggers:
         timeout: Optional[float],
         threshold: Optional[int],
         on_fire: Optional[Callable[[str], None]] = None,
+        scan: Optional[Callable[[], None]] = None,
     ) -> None:
         if timeout is not None and timeout <= 0:
             raise ValueError("timeout trigger must be positive")
@@ -43,6 +44,10 @@ class CommitTriggers:
         #: Observability hook: called with the trigger kind on each fire
         #: (the Cx role records trace events and metrics through it).
         self.on_fire = on_fire
+        #: Liveness piggyback: called on each *timer* fire only (the Cx
+        #: role runs its vote-retry / parked-decision scans here, so
+        #: liveness timers cost zero extra timeline events).
+        self.scan = scan
         self._timer: Optional[Process] = None
 
     # -- lifecycle -----------------------------------------------------------
@@ -66,6 +71,8 @@ class CommitTriggers:
                 if self.on_fire is not None:
                     self.on_fire("timeout")
                 self.launch("timeout")
+                if self.scan is not None:
+                    self.scan()
         except Interrupt:
             return
 

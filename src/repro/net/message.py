@@ -36,6 +36,11 @@ class MessageKind(str, enum.Enum):
     L_COM = "L-COM"
     #: Coordinator tells the process every sub-op has been aborted.
     ALL_NO = "ALL-NO"
+    #: Participant re-solicits a commitment decision for an operation
+    #: whose VOTE (or decision) was lost to a coordinator crash: the
+    #: coordinator answers from its completed table / log, launches the
+    #: commitment, or replies with an explicit abort for unknown ops.
+    RESOLICIT = "RESOLICIT"
 
     # ---- SE baseline -----------------------------------------------------
     #: Client withdraws an already-executed sub-op after a later failure.

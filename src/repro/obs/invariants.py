@@ -19,7 +19,16 @@ Liveness (requires a quiesced end of run — lazy work drained):
 * **eventually-decided** — every sub-op that executed successfully
   (a lazily-agreed Result-Record exists) eventually reaches a
   commitment decision (COMMIT-REQ + ACK, or an abort) on that server,
-  unless it was invalidated (re-ordered) or the server crashed.
+  unless it was invalidated (re-ordered), the server crashed, or the
+  retry machinery is provably wedged on a peer that is *down at the
+  end of the run* (a ``vote.resolicit`` / ``commit.peer_lost`` /
+  ``commit.park`` event names a peer whose last crash has no later
+  reboot) — a transient pending-window state, not a protocol bug.
+* **parked-undecided** — an op parked for decision re-delivery
+  (``commit.park``) must eventually unpark (``commit.unpark``), unless
+  its peer is down at end of run or the parking node itself crashed
+  (its volatile parked table died with it; recovery re-derives the
+  work from the log).
 """
 
 from __future__ import annotations
@@ -68,6 +77,20 @@ class InvariantChecker:
     def _crashed_after(self, node: str, ts: float) -> bool:
         t = self._crashes.get(node)
         return t is not None and t >= ts
+
+    def _down_at_end(self) -> set:
+        """Nodes whose last crash has no later reboot."""
+        last_crash: Dict[str, float] = {}
+        last_reboot: Dict[str, float] = {}
+        for e in self.events:
+            if e.name == "server.crash":
+                last_crash[e.node] = e.ts
+            elif e.name == "server.reboot":
+                last_reboot[e.node] = e.ts
+        return {
+            node for node, ts in last_crash.items()
+            if last_reboot.get(node, -1.0) < ts
+        }
 
     def _decisions(self) -> Dict[Tuple, Dict[str, Tuple[float, bool]]]:
         """op_id -> node -> (first decision ts, committed)."""
@@ -130,11 +153,17 @@ class InvariantChecker:
     def check_liveness(self) -> List[Violation]:
         violations: List[Violation] = []
         decisions = self._decisions()
+        down_at_end = self._down_at_end()
 
         # Last successful execution per (op, node), and whether an
-        # invalidation superseded it.
+        # invalidation superseded it.  Retry-machinery events record
+        # which peer an undecided op is waiting on; parks/unparks track
+        # decision re-delivery.
         last_ok_exec: Dict[Tuple[Tuple, str], float] = {}
         invalidated_at: Dict[Tuple[Tuple, str], float] = {}
+        waiting_on_peer: Dict[Tuple[Tuple, str], str] = {}
+        parked_at: Dict[Tuple[Tuple, str], Tuple[float, Optional[str]]] = {}
+        unparked: set = set()
         for e in self.events:
             if e.op_id is None:
                 continue
@@ -146,6 +175,14 @@ class InvariantChecker:
                 last_ok_exec[key] = e.ts
             elif e.name == "invalidate":
                 invalidated_at[key] = e.ts
+            elif e.name in ("vote.resolicit", "commit.peer_lost"):
+                waiting_on_peer[key] = e.args.get("peer")
+            elif e.name == "commit.park":
+                parked_at[key] = (e.ts, e.args.get("peer"))
+                unparked.discard(key)
+            elif e.name == "commit.unpark":
+                unparked.add(key)
+                parked_at.pop(key, None)
 
         for (op_id, node), ts in last_ok_exec.items():
             if decisions.get(op_id, {}).get(node) is not None:
@@ -155,11 +192,29 @@ class InvariantChecker:
                 continue  # re-ordered away; its re-execution is tracked anew
             if self._crashed_after(node, ts):
                 continue  # volatile state lost; recovery owns the op now
+            peer = waiting_on_peer.get((op_id, node))
+            if peer is not None and peer in down_at_end:
+                # Transient pending window: the retry machinery is
+                # provably waiting on a peer that never came back.
+                continue
             violations.append(
                 Violation(
                     "eventually-decided", node, op_id,
                     f"sub-op executed ok at t={ts:.6f} but never reached a "
                     "commitment decision on this server",
+                )
+            )
+
+        for (op_id, node), (ts, peer) in parked_at.items():
+            if peer is not None and peer in down_at_end:
+                continue  # peer never came back: re-delivery must wait
+            if self._crashed_after(node, ts):
+                continue  # parked table died with the node; log re-derives
+            violations.append(
+                Violation(
+                    "parked-undecided", node, op_id,
+                    f"decision parked at t={ts:.6f} was never re-delivered "
+                    "although the peer recovered",
                 )
             )
         return violations

@@ -85,6 +85,32 @@ class SimParams:
     #: server-side).  None disables retries.
     client_retry_timeout: Optional[float] = None
 
+    # ------------------------------------------------------------- liveness
+    #: Participant-side vote-retry timer: a part-role operation still
+    #: undecided after this many seconds re-solicits its coordinator
+    #: (RESOLICIT), and a vote deferred this long for an op that never
+    #: arrives is answered with a lost-vote abort.  The timer piggybacks
+    #: on the commit-trigger scan, so fault-free replays schedule no
+    #: extra events.  None disables re-solicitation.
+    vote_retry_timeout: Optional[float] = 30.0
+    #: Re-solicit backoff cap, as a multiple of ``vote_retry_timeout``
+    #: (the interval doubles per retry up to this bound).
+    vote_retry_backoff_cap: float = 8.0
+    #: Coordinator-side commitment-RPC watchdog: a VOTE / COMMIT-REQ
+    #: whose reply is overdue by this many seconds is abandoned as a
+    #: connection failure (undecided ops re-enter the lazy queue,
+    #: decided ops park for re-delivery).  None disables the watchdog
+    #: and keeps commitment RPCs unbounded (no timer per RPC).
+    commit_rpc_timeout: Optional[float] = None
+
+    # ------------------------------------------------------------- recovery
+    #: Attempts for each recovery RPC (RECOVERY-BEGIN/END, decision
+    #: re-delivery) before the peer is skipped or the op is parked.
+    recovery_rpc_retries: int = 3
+    #: Per-attempt reply timeout for recovery RPCs (partition-dropped
+    #: messages hang forever without one).
+    recovery_rpc_timeout: float = 1.0
+
     # ------------------------------------------------------------- recovery
     #: Fixed reboot cost before log scanning starts (process restart,
     #: BDB environment recovery, re-registration with peers).

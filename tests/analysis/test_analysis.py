@@ -160,6 +160,75 @@ class TestConsistencyChecker:
         assert check_atomicity(cluster, [(op, True)]) == []
 
 
+class TestTransientClassification:
+    """Pending-window breaks classify as transient-*, not terminal.
+
+    The fuzz oracle runs while some ops may still be pending or parked
+    for decision re-delivery; their halves are allowed to disagree.
+    ``classify_namespace`` marks breaks on those handles with
+    ``transient-`` kinds, and :func:`is_transient` filters them.
+    """
+
+    def _namespace_with_dangling(self, target):
+        dirents = {(6, "half"): DirEntry(6, "half", target)}
+        return dirents, {}
+
+    def test_dangling_entry_is_terminal_without_transient_mark(self):
+        from repro.analysis.consistency import classify_namespace, is_transient
+
+        dirents, inodes = self._namespace_with_dangling(30)
+        (v,) = classify_namespace(dirents, inodes)
+        assert v.kind == "dangling-entry"
+        assert not is_transient(v)
+
+    def test_dangling_entry_on_inflight_target_is_transient(self):
+        from repro.analysis.consistency import classify_namespace, is_transient
+
+        dirents, inodes = self._namespace_with_dangling(30)
+        (v,) = classify_namespace(dirents, inodes, transient_targets={30})
+        assert v.kind == "transient-entry"
+        assert is_transient(v)
+
+    def test_orphan_inode_transient_vs_terminal(self):
+        from repro.analysis.consistency import classify_namespace, is_transient
+
+        inodes = {44: Inode(44, FileType.REGULAR)}
+        (term,) = classify_namespace({}, inodes)
+        assert term.kind == "orphan-inode" and not is_transient(term)
+        (trans,) = classify_namespace({}, inodes, transient_targets={44})
+        assert trans.kind == "transient-orphan" and is_transient(trans)
+
+    def test_nlink_mismatch_transient_vs_terminal(self):
+        from repro.analysis.consistency import classify_namespace, is_transient
+
+        dirents = {(6, "f"): DirEntry(6, "f", 44)}
+        inodes = {44: Inode(44, FileType.REGULAR, nlink=7)}
+        (term,) = classify_namespace(dirents, inodes)
+        assert term.kind == "nlink-mismatch" and not is_transient(term)
+        (trans,) = classify_namespace(dirents, inodes, transient_targets={44})
+        assert trans.kind == "transient-nlink" and is_transient(trans)
+
+    def test_known_dirs_still_exempt_alongside_transients(self):
+        from repro.analysis.consistency import classify_namespace
+
+        inodes = {
+            8: Inode(8, FileType.REGULAR),   # preloaded (known)
+            44: Inode(44, FileType.REGULAR),  # in-flight
+        }
+        out = classify_namespace({}, inodes, known={8}, transient_targets={44})
+        assert [v.kind for v in out] == ["transient-orphan"]
+
+    def test_cluster_checker_threads_transient_targets(self):
+        cluster = build_cluster("cx")
+        d = cluster.preload_dir(ROOT_HANDLE, "dir")
+        server = cluster.servers[cluster.placement.dirent_server(d, "ghost")]
+        server.kv._durable[dirent_key(d, "ghost")] = DirEntry(d, "ghost", 99999)
+        out = check_namespace_invariants(
+            cluster, known_dirs=[d], transient_targets={99999}
+        )
+        assert [v.kind for v in out] == ["transient-entry"]
+
+
 class TestRendering:
     def test_render_table_basic(self):
         text = render_table(["a", "b"], [[1, 2.5], ["x", 3.25]], title="T")

@@ -109,6 +109,35 @@ class TestDetection:
         assert detected == []
 
 
+class TestProbeFailureVisibility:
+    """Failed probes are counted and traced, never silently swallowed."""
+
+    def test_probe_failures_counted_and_traced(self):
+        cluster = build_cluster("cx")
+        fd = FailureDetector(cluster, interval=0.2, misses_to_declare=3)
+        fd.start()
+        FailureInjector(cluster).crash_server_at(1, at=0.5)
+        cluster.sim.run(until=3.0)
+        assert fd.metrics.counter("probe.failed").value >= 3
+        failures = [e for e in cluster.tracer.events
+                    if e.name == "probe.failed"]
+        assert failures
+        target = cluster.server_id(1)
+        assert all(e.args["target"] == target for e in failures)
+        assert {e.args["reason"] for e in failures} <= {
+            "connection-error", "timeout", "rpc-failed", "send-error",
+        }
+
+    def test_healthy_cluster_counts_no_failures(self):
+        cluster = build_cluster("cx")
+        fd = FailureDetector(cluster, interval=0.2)
+        fd.start()
+        cluster.sim.run(until=3.0)
+        assert fd.metrics.counter("probe.failed").value == 0
+        assert not any(e.name == "probe.failed"
+                       for e in cluster.tracer.events)
+
+
 class TestEndToEndAutoRecovery:
     def test_detect_then_recover_then_serve(self):
         """Detector fires -> recovery runs -> cluster serves again."""

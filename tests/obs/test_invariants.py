@@ -126,6 +126,82 @@ class TestSyntheticLiveness:
         assert InvariantChecker(t.events).check_liveness() == []
 
 
+class TestCrashWindowLiveness:
+    """Transient pending-window exemptions vs terminal liveness gaps.
+
+    An undecided op is excused only while the retry machinery is
+    provably waiting on a peer that never came back; once the peer
+    recovers, the obligation is live again.  Likewise a parked
+    decision must eventually be re-delivered unless its peer stayed
+    down or the parking node itself crashed (the parked table is
+    volatile; recovery re-derives it from the log).
+    """
+
+    def _exec_ok(self, t, node="mds0"):
+        span = t.begin("exec", node, op_id=OP, phase=PHASE_EXEC)
+        span.end(ok=True)
+
+    def test_waiting_on_dead_peer_excused(self):
+        t, clk = tracer_at()
+        self._exec_ok(t)
+        clk.now = 1.0
+        t.event("server.crash", "mds1")
+        t.event("vote.resolicit", "mds0", op_id=OP, peer="mds1")
+        assert InvariantChecker(t.events).check_liveness() == []
+
+    def test_waiting_on_recovered_peer_still_flagged(self):
+        t, clk = tracer_at()
+        self._exec_ok(t)
+        clk.now = 1.0
+        t.event("server.crash", "mds1")
+        t.event("vote.resolicit", "mds0", op_id=OP, peer="mds1")
+        clk.now = 2.0
+        t.event("server.reboot", "mds1")  # peer is back: must resolve
+        (v,) = InvariantChecker(t.events).check_liveness()
+        assert v.kind == "eventually-decided"
+        assert v.node == "mds0"
+
+    def test_peer_lost_marker_also_exempts(self):
+        t, clk = tracer_at()
+        self._exec_ok(t)
+        clk.now = 1.0
+        t.event("server.crash", "mds1")
+        t.event("commit.peer_lost", "mds0", op_id=OP, peer="mds1")
+        assert InvariantChecker(t.events).check_liveness() == []
+
+    def test_parked_decision_never_redelivered_flagged(self):
+        t, clk = tracer_at()
+        t.event("server.crash", "mds1")
+        t.event("commit.park", "mds0", op_id=OP, peer="mds1")
+        clk.now = 2.0
+        t.event("server.reboot", "mds1")  # recovered, park never drained
+        (v,) = InvariantChecker(t.events).check_liveness()
+        assert v.kind == "parked-undecided"
+        assert v.node == "mds0"
+
+    def test_unparked_decision_passes(self):
+        t, clk = tracer_at()
+        t.event("server.crash", "mds1")
+        t.event("commit.park", "mds0", op_id=OP, peer="mds1")
+        clk.now = 2.0
+        t.event("server.reboot", "mds1")
+        t.event("commit.unpark", "mds0", op_id=OP)
+        assert InvariantChecker(t.events).check_liveness() == []
+
+    def test_parked_against_dead_peer_excused(self):
+        t, _clk = tracer_at()
+        t.event("server.crash", "mds1")
+        t.event("commit.park", "mds0", op_id=OP, peer="mds1")
+        assert InvariantChecker(t.events).check_liveness() == []
+
+    def test_parking_node_crash_clears_obligation(self):
+        t, clk = tracer_at()
+        t.event("commit.park", "mds0", op_id=OP, peer="mds1")
+        clk.now = 1.0
+        t.event("server.crash", "mds0")  # volatile parked table is gone
+        assert InvariantChecker(t.events).check_liveness() == []
+
+
 class TestTracedClusterRun:
     """End-to-end: a real Cx replay satisfies every invariant and emits
     the per-phase spans the paper's timeline decomposition names."""
